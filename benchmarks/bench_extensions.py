@@ -1,0 +1,155 @@
+"""Extension benchmarks: the paper's future-work directions.
+
+* Diversity metrics (new complexity metrics, per the conclusion).
+* Integrated-syndication QoE projection and CDN accounting (§6's open
+  problems).
+* The edge-cache syndication study (§6 notes edge redundancy depends on
+  access patterns — here we simulate them).
+* Dataset QA audit and the full paper-vs-measured verification report.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_lines, save_rows
+from repro.core.diversity import (
+    fit_diversity,
+    mean_evenness,
+    publisher_diversity,
+)
+from repro.core.integrated import (
+    integrated_qoe_projection,
+    owner_share_of_cdn,
+)
+from repro.delivery.edgesim import EdgeSyndicationStudy
+from repro.experiments import build_report, fraction_within_band
+from repro.synthesis import calibration as cal
+from repro.synthesis.catalogues import build_case_catalogue
+from repro.entities.ladder import BitrateLadder
+from repro.telemetry.quality import audit
+
+
+def test_diversity_metrics(benchmark, eco_full):
+    latest = eco_full.dataset.latest()
+    profiles = benchmark.pedantic(
+        publisher_diversity, args=(latest,), rounds=1, iterations=1
+    )
+    fits = fit_diversity(profiles)
+    # Both surfaces sub-linear; counts overstate exercised diversity.
+    assert fits.surface_index.per_decade_factor < 10
+    assert fits.evenness_gap > 0
+    save_lines(
+        "ext_diversity",
+        [
+            "Diversity metrics (extension):",
+            f"  count-surface factor/decade:   "
+            f"{fits.count_surface.per_decade_factor:.2f}x",
+            f"  evenness-aware factor/decade:  "
+            f"{fits.surface_index.per_decade_factor:.2f}x",
+            f"  mean evenness ratio:           "
+            f"{mean_evenness(profiles):.2f}",
+            f"  VH-weighted evenness ratio:    "
+            f"{mean_evenness(profiles, weight_by_view_hours=True):.2f}",
+        ],
+    )
+
+
+def test_integrated_qoe_projection(benchmark, eco_full):
+    projection = benchmark.pedantic(
+        integrated_qoe_projection,
+        args=(eco_full.case_study, "S7", "X", "A"),
+        kwargs={"sessions": 160},
+        rounds=1,
+        iterations=1,
+    )
+    # Integration closes most of the Fig 15 gap for the weak syndicator.
+    assert projection.bitrate_gain > 1.8
+    save_lines(
+        "ext_integration_qoe",
+        [
+            "S7 under API/app integration (ISP X, CDN A):",
+            f"  median bitrate: {projection.before_median_kbps:.0f} -> "
+            f"{projection.after_median_kbps:.0f} kbps "
+            f"({projection.bitrate_gain:.2f}x)",
+            f"  p90 rebuffering: {projection.before_p90_rebuffer:.3f} -> "
+            f"{projection.after_p90_rebuffer:.3f} "
+            f"({projection.rebuffer_reduction:.0%} lower)",
+        ],
+    )
+
+
+def test_integrated_accounting(benchmark, eco_full):
+    owner_id = eco_full.case_study.owner_id
+    share = benchmark.pedantic(
+        owner_share_of_cdn,
+        args=(eco_full.dataset.latest(), "A", owner_id),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 < share < 1.0
+    save_lines(
+        "ext_accounting",
+        [
+            "CDN A delivered-byte attribution (API-integration "
+            "accounting):",
+            f"  owner's share of CDN A bytes: {share:.1%}",
+        ],
+    )
+
+
+def test_edge_cache_syndication(benchmark):
+    rng = np.random.default_rng(11)
+    catalogue = build_case_catalogue(np.random.default_rng(1))
+    ladders = {
+        label: BitrateLadder.from_bitrates(cal.CASE_STUDY_LADDERS[label])
+        for label in ("O", "S4", "S9")
+    }
+    study = EdgeSyndicationStudy(
+        catalogue=catalogue,
+        ladders=ladders,
+        owner_id="O",
+        cache_capacity_bytes=40e9,
+    )
+    results = benchmark.pedantic(
+        study.compare, args=(rng,), kwargs={"n_sessions": 600},
+        rounds=1, iterations=1,
+    )
+    independent = results["independent"]
+    integrated = results["integrated"]
+    # Integration consolidates duplicate cache entries -> fewer misses.
+    assert integrated.hit_ratio > independent.hit_ratio
+    save_lines(
+        "ext_edge_cache",
+        [
+            "Edge-cache syndication study (cache-level Fig 18 analogue):",
+            f"  independent: hit ratio {independent.hit_ratio:.1%}, "
+            f"origin egress {independent.origin_gigabytes:.1f} GB",
+            f"  integrated:  hit ratio {integrated.hit_ratio:.1%}, "
+            f"origin egress {integrated.origin_gigabytes:.1f} GB",
+        ],
+    )
+
+
+def test_dataset_quality_audit(benchmark, eco_full):
+    report = benchmark.pedantic(
+        audit, args=(eco_full.dataset,), rounds=1, iterations=1
+    )
+    assert report.ok
+    assert report.classifiable_url_fraction == 1.0
+    save_lines("ext_quality", report.summary().splitlines())
+
+
+def test_verification_report(benchmark, eco_full):
+    comparisons = benchmark.pedantic(
+        build_report, args=(eco_full,), rounds=1, iterations=1
+    )
+    within = fraction_within_band(comparisons)
+    assert within > 0.85
+    save_rows(
+        "ext_verification",
+        [c.row() for c in comparisons],
+        header=(
+            f"Paper-vs-measured verification: {within:.0%} of "
+            f"{len(comparisons)} comparisons within band"
+        ),
+    )

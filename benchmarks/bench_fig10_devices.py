@@ -1,0 +1,32 @@
+"""Figs 10a-10c: within-platform device-family trends."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig10a_browser_players(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F10a")
+    first, latest = rows[0], rows[-1]
+    # Paper: HTML5 rises ~25% -> ~60% of browser view-hours; Flash
+    # declines modestly (60% -> 40%) rather than collapsing.
+    assert latest["html5"] > first["html5"] + 15
+    assert latest["flash"] < first["flash"]
+    assert latest["flash"] > 20
+    assert latest["silverlight"] < first["silverlight"] + 2
+
+
+def test_fig10b_mobile_oses(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F10b")
+    first, latest = rows[0], rows[-1]
+    # Paper: Android grows to comparable viewership with iOS.
+    assert latest["android"] > first["android"]
+    assert abs(latest["android"] - latest["ios"]) < 20
+
+
+def test_fig10c_set_tops(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F10c")
+    latest = rows[-1]
+    # Paper: Roku dominant; AppleTV and FireTV non-negligible.
+    families = {k: v for k, v in latest.items() if k != "snapshot"}
+    assert max(families, key=families.get) == "roku"
+    assert latest["appletv"] > 5
+    assert latest["firetv"] > 5

@@ -1,0 +1,45 @@
+"""Figs 11a-11b: CDN prevalence across publishers and view-hours."""
+
+from benchmarks.conftest import run_and_save, save_lines
+from repro.core.summary import top_cdn_concentration
+
+
+def test_fig11a_publisher_share(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F11a")
+    latest = rows[-1]
+    # Paper: CDN A used by ~80% of publishers, C ~30%, B ~25%; shares
+    # roughly steady over time.
+    assert latest["A"] > 70
+    assert latest["A"] > latest["B"]
+    assert latest["A"] > latest["C"]
+    first = rows[0]
+    assert abs(first["A"] - latest["A"]) < 15
+
+
+def test_fig11b_view_hour_share(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F11b")
+    first, latest = rows[0], rows[-1]
+    # Paper: A's dominance erodes; A, B and C end at comparable 20-35%.
+    assert latest["A"] < first["A"]
+    for name in ("A", "B", "C"):
+        assert 15 < latest[name] < 45
+    for name in ("D", "E"):
+        assert latest[name] < 10
+
+
+def test_top5_concentration(benchmark, eco_full):
+    concentration = benchmark.pedantic(
+        top_cdn_concentration,
+        args=(eco_full.dataset.latest(),),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: 5 of 36 CDNs serve >93% of view-hours.
+    assert concentration > 90
+    save_lines(
+        "F11_concentration",
+        [
+            "Top-5 CDN view-hour concentration "
+            f"(paper >93%): {concentration:.1f}%"
+        ],
+    )

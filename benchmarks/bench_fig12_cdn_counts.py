@@ -1,0 +1,40 @@
+"""Figs 12a-12c: number of CDNs per publisher."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig12a_count_distribution(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F12a")
+    by_count = {row["cdns"]: row for row in rows}
+    # Paper: >40% single-CDN publishers with <5% of view-hours; 4-5 CDN
+    # publishers carry ~80% of view-hours.
+    assert by_count[1]["percent_publishers"] > 25
+    assert by_count[1]["percent_view_hours"] < 5
+    heavy = sum(
+        row["percent_view_hours"] for row in rows if row["cdns"] >= 4
+    )
+    assert heavy > 60
+    assert max(by_count) <= 5
+
+
+def test_fig12b_bucketed(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F12b")
+    # Paper: the smallest bucket uses a single CDN; the largest uses at
+    # least 4.
+    smallest = rows[0]["count_histogram"]
+    if smallest:
+        assert set(smallest) == {1}
+    largest = rows[-1]["count_histogram"]
+    assert min(largest) >= 4
+
+
+def test_fig12c_trend(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F12c")
+    # Paper: plain average a bit above 2; weighted average near 4.5 and
+    # growing much faster.
+    assert 1.7 < rows[-1]["average"] < 3.0
+    assert rows[-1]["weighted_average"] > 3.8
+    assert (
+        rows[-1]["weighted_average"] - rows[0]["weighted_average"]
+        > rows[-1]["average"] - rows[0]["average"]
+    )

@@ -1,0 +1,47 @@
+"""Fig 13: complexity metrics versus publisher view-hours."""
+
+from benchmarks.conftest import run_and_save, save_lines
+from repro.core.complexity import fit_complexity, publisher_complexity
+
+
+def test_fig13_slopes(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F13")
+    by_metric = {row["metric"]: row for row in rows}
+    combos = by_metric["management-plane combinations"]
+    titles = by_metric["protocol-titles"]
+    sdks = by_metric["unique SDKs"]
+    # Paper: 1.72x / 3.8x / 1.8x per view-hour decade, all sub-linear
+    # (factor < 10), all statistically significant (p < 1e-9).
+    assert 1.4 < combos["per_decade_factor"] < 2.4
+    assert 3.0 < titles["per_decade_factor"] < 4.6
+    assert 1.4 < sdks["per_decade_factor"] < 2.2
+    for row in (combos, titles, sdks):
+        assert row["per_decade_factor"] < 10.0
+        assert row["p_value"] < 1e-9
+    biggest = by_metric["max unique SDKs"]["per_decade_factor"]
+    assert 50 <= biggest <= 130  # paper: up to 85 code bases
+
+
+def test_fig13_fit_cost(benchmark, eco_full):
+    """Time the full metric extraction + three regressions."""
+
+    def run():
+        metrics = publisher_complexity(
+            eco_full.dataset.latest(), eco_full.catalogue_sizes
+        )
+        return fit_complexity(metrics)
+
+    fits = benchmark(run)
+    assert fits.all_sublinear()
+    save_lines(
+        "F13_fits",
+        [
+            "Fig 13 log-log fits (paper: 1.72x / 3.8x / 1.8x per decade):",
+            f"  combinations:    {fits.combinations.per_decade_factor:.2f}x"
+            f" (r2={fits.combinations.r_squared:.2f})",
+            f"  protocol-titles: {fits.protocol_titles.per_decade_factor:.2f}x"
+            f" (r2={fits.protocol_titles.r_squared:.2f})",
+            f"  unique SDKs:     {fits.unique_sdks.per_decade_factor:.2f}x"
+            f" (r2={fits.unique_sdks.r_squared:.2f})",
+        ],
+    )

@@ -1,0 +1,32 @@
+"""Fig 14: prevalence of content syndication."""
+
+from benchmarks.conftest import run_and_save, save_lines
+from repro.core.syndication import prevalence_summary
+
+
+def test_fig14_cdf(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F14")
+    cdf_rows = [row for row in rows if row["pct_syndicators"] >= 0]
+    values = [row["cdf"] for row in cdf_rows]
+    assert values == sorted(values)
+    assert values[-1] == 1.0
+
+
+def test_fig14_headline_numbers(benchmark, eco_full):
+    summary = benchmark.pedantic(
+        prevalence_summary, args=(eco_full.dataset,), rounds=1, iterations=1
+    )
+    # Paper: >80% of owners use at least one syndicator; ~20% of owners
+    # reach a third of all full syndicators.
+    assert summary["pct_owners_with_syndicator"] > 70
+    assert 8 < summary["pct_owners_third_of_syndicators"] < 45
+    save_lines(
+        "F14_summary",
+        [
+            "Fig 14 prevalence (paper: >80% / ~20%):",
+            "  owners with >=1 syndicator: "
+            f"{summary['pct_owners_with_syndicator']:.1f}%",
+            "  owners reaching 1/3 of syndicators: "
+            f"{summary['pct_owners_third_of_syndicators']:.1f}%",
+        ],
+    )

@@ -1,0 +1,24 @@
+"""Figs 15/16: owner vs syndicator QoE for the syndicated video."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig15_average_bitrate(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F15")
+    assert len(rows) == 2  # (ISP X, CDN A) and (ISP Y, CDN B)
+    for row in rows:
+        # Paper: owner clients see ~2.5x the syndicator's median
+        # average bitrate on both combinations.
+        assert 1.8 < row["median_gain"] < 3.5
+        assert row["owner_median_kbps"] > row["syndicator_median_kbps"]
+
+
+def test_fig16_rebuffering(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F16")
+    for row in rows:
+        # Paper: ~40% lower rebuffering for owner clients at the 90th
+        # percentile.
+        assert row["p90_reduction"] > 0.15
+        assert (
+            row["owner_p90_rebuffer"] < row["syndicator_p90_rebuffer"]
+        )

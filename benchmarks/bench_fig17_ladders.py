@@ -1,0 +1,19 @@
+"""Fig 17: bitrate-ladder divergence between owner and syndicators."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig17_ladders(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F17")
+    by_label = {row["label"]: row for row in rows}
+    assert set(by_label) == {"O"} | {f"S{i}" for i in range(1, 11)}
+    # Paper: the owner offers 9 bitrates with the top rung past
+    # 8192 kbps; S2 uses only 3 rungs; S9 uses 14; S1's top rung is
+    # ~7x below the owner's, a little above 1024 kbps.
+    assert by_label["O"]["rungs"] == 9
+    assert by_label["O"]["max_kbps"] > 8192
+    assert by_label["S2"]["rungs"] == 3
+    assert by_label["S9"]["rungs"] == 14
+    ratio = by_label["O"]["max_kbps"] / by_label["S1"]["max_kbps"]
+    assert 6.5 < ratio < 8.5
+    assert 1024 < by_label["S1"]["max_kbps"] < 1300

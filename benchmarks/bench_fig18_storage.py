@@ -1,0 +1,39 @@
+"""Fig 18: CDN origin-storage savings under syndication models."""
+
+import pytest
+
+from benchmarks.conftest import run_and_save, save_lines
+from repro.core.storage import tolerance_sweep
+
+
+def test_fig18_savings(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F18")
+    assert len(rows) == 2  # CDNs A and B
+    for row in rows:
+        # Paper: 1916 TB total; 316.1 TB (16.5%) saved at 5% tolerance,
+        # 865 TB (45.2%) at 10%, 1257 TB (65.6%) integrated.
+        assert row["total_tb"] == pytest.approx(1916, rel=0.05)
+        assert row["saved_pct_5pct"] == pytest.approx(16.5, abs=1.5)
+        assert row["saved_pct_10pct"] == pytest.approx(45.2, abs=1.5)
+        assert row["saved_pct_integrated"] == pytest.approx(65.6, abs=1.0)
+        assert row["saved_tb_5pct"] == pytest.approx(316.1, rel=0.08)
+        assert row["saved_tb_10pct"] == pytest.approx(865.0, rel=0.08)
+        assert row["saved_tb_integrated"] == pytest.approx(1257.0, rel=0.05)
+
+
+def test_fig18_tolerance_sweep_extension(benchmark, eco_full):
+    """Ablation: savings as a function of dedup tolerance (0-20%)."""
+    sweep = benchmark.pedantic(
+        tolerance_sweep, args=(eco_full.case_study,), rounds=1, iterations=1
+    )
+    percentages = [pct for _, pct in sweep]
+    assert percentages[0] == pytest.approx(0.0, abs=0.1)
+    assert percentages[-1] > 30
+    save_lines(
+        "F18_sweep",
+        ["Dedup savings vs tolerance (extends the paper's 5%/10% points):"]
+        + [
+            f"  tolerance {tolerance * 100:4.1f}%: {pct:5.1f}% saved"
+            for tolerance, pct in sweep
+        ],
+    )

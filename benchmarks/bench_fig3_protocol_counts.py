@@ -1,0 +1,32 @@
+"""Figs 3a-3c: number of streaming protocols per publisher."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig3a_count_distribution(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F3a")
+    by_count = {row["protocols"]: row for row in rows}
+    # Paper: ~38% single-protocol publishers holding <10% of view-hours;
+    # two-protocol publishers carry ~60% of view-hours.
+    assert by_count[1]["percent_publishers"] > 25
+    assert by_count[1]["percent_view_hours"] < 15
+    assert by_count[2]["percent_view_hours"] > 40
+
+
+def test_fig3b_bucketed(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F3b")
+    assert len(rows) == 7
+    shares = [row["percent_publishers"] for row in rows]
+    # Paper: the 100X-1000X bucket is modal with >35% of publishers.
+    assert shares.index(max(shares)) == 3
+    assert max(shares) > 25
+
+
+def test_fig3c_trend(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F3c")
+    assert len(rows) == 59
+    # Paper: weighted average sits above the plain average throughout,
+    # a bit above two by the end.
+    for row in rows:
+        assert row["weighted_average"] > row["average"]
+    assert 1.8 < rows[-1]["weighted_average"] < 3.2

@@ -1,0 +1,33 @@
+"""Fig 4: CDF across publishers of DASH/HLS view-hour share."""
+
+from benchmarks.conftest import run_and_save, save_lines
+from repro.core.protocol_share import supporter_medians
+from repro.constants import Protocol
+
+
+def test_fig4_share_cdfs(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F4")
+    dash = [r for r in rows if r["protocol"] == "DASH"]
+    hls = [r for r in rows if r["protocol"] == "HLS"]
+    assert dash and hls
+
+
+def test_fig4_medians(benchmark, eco_full):
+    medians = benchmark.pedantic(
+        supporter_medians,
+        args=(eco_full.dataset.latest(),),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: half of HLS supporters put >=85% of view-hours on HLS;
+    # half of DASH supporters put <=20% on DASH.
+    assert medians[Protocol.HLS] > 65
+    assert medians[Protocol.DASH] < 25
+    save_lines(
+        "F4_medians",
+        ["Fig 4 medians (paper: HLS >= 85, DASH <= 20):"]
+        + [
+            f"  {protocol.display_name}: {value:.1f}%"
+            for protocol, value in medians.items()
+        ],
+    )

@@ -1,0 +1,18 @@
+"""Fig 5: the platform/device taxonomy."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig5_taxonomy(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F5")
+    platforms = {row["platform"] for row in rows}
+    # The five Fig 5 platform categories.
+    assert platforms == {
+        "Browser",
+        "Mobile app",
+        "Set-top box",
+        "Smart TV",
+        "Game console",
+    }
+    families = {row["family"] for row in rows}
+    assert {"roku", "html5", "flash", "ios", "android"} <= families

@@ -1,0 +1,16 @@
+"""Fig 7: % of publishers supporting each platform over time."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig7_platform_support(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F7")
+    first, latest = rows[0], rows[-1]
+    # Paper: set-top and smart-TV support grow from under 20% to above
+    # 50%/60%; browsers and mobile near-universal.
+    assert first["Set-top box"] < 30
+    assert latest["Set-top box"] > 45
+    assert first["Smart TV"] < 30
+    assert latest["Smart TV"] > 50
+    assert latest["Browser"] > 90
+    assert latest["Mobile app"] > 85

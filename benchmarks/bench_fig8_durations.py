@@ -1,0 +1,41 @@
+"""Fig 8: CDF of individual view duration per platform."""
+
+from benchmarks.conftest import run_and_save, save_lines
+from repro.constants import Platform
+from repro.core.durations import long_view_fractions
+
+
+def test_fig8_duration_cdfs(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F8")
+    # CDFs are non-decreasing in the threshold per platform.
+    by_platform = {}
+    for row in rows:
+        by_platform.setdefault(row["platform"], []).append(row["cdf"])
+    for values in by_platform.values():
+        assert values == sorted(values)
+
+
+def test_fig8_long_view_contrast(benchmark, eco_full):
+    fractions = benchmark.pedantic(
+        long_view_fractions,
+        args=(eco_full.dataset.latest(),),
+        kwargs={"threshold_hours": 0.2},
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: ~24% of mobile/browser views exceed 0.2 h; >60% of set-top
+    # views do.
+    assert fractions[Platform.MOBILE] < 0.40
+    assert fractions[Platform.BROWSER] < 0.40
+    assert fractions[Platform.SET_TOP] > 0.45
+    assert fractions[Platform.SET_TOP] > 2 * fractions[Platform.MOBILE]
+    save_lines(
+        "F8_long_views",
+        ["P[view > 0.2h] (paper: mobile/browser ~0.24, set-top >0.60):"]
+        + [
+            f"  {platform.display_name}: {fraction:.2f}"
+            for platform, fraction in sorted(
+                fractions.items(), key=lambda kv: kv[0].value
+            )
+        ],
+    )

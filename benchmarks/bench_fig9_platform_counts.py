@@ -1,0 +1,36 @@
+"""Figs 9a-9c: number of platforms per publisher."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_fig9a_count_distribution(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F9a")
+    multi_pubs = sum(
+        row["percent_publishers"] for row in rows if row["platforms"] > 1
+    )
+    multi_vh = sum(
+        row["percent_view_hours"] for row in rows if row["platforms"] > 1
+    )
+    # Paper: >85% of publishers and >95% of view-hours are
+    # multi-platform; ~30% of publishers support all five.
+    assert multi_pubs > 80
+    assert multi_vh > 90
+    all_five = next((r for r in rows if r["platforms"] == 5), None)
+    assert all_five is not None
+    assert all_five["percent_publishers"] > 15
+    assert all_five["percent_view_hours"] > 50
+
+
+def test_fig9b_bucketed(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F9b")
+    # Largest buckets are dominated by 4-5 platform publishers.
+    top_bucket = rows[-1]["count_histogram"]
+    assert min(top_bucket) >= 3
+
+
+def test_fig9c_trend(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "F9c")
+    # Paper: both averages grow substantially (48%/37%); the weighted
+    # average approaches 4.5 by the latest snapshot.
+    assert rows[-1]["average"] > rows[0]["average"] * 1.2
+    assert rows[-1]["weighted_average"] > 4.0

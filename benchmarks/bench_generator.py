@@ -1,0 +1,41 @@
+"""Dataset-generation and persistence benchmarks.
+
+Times the ecosystem generator at test scale and the JSONL round-trip —
+the two substrate costs every analysis pays before it starts.
+"""
+
+from benchmarks.conftest import save_lines
+from repro.synthesis.calibration import EcosystemConfig
+from repro.synthesis.generator import EcosystemGenerator
+from repro.telemetry.dataset import Dataset
+
+
+def test_generation_small(benchmark):
+    config = EcosystemConfig(
+        seed=3, snapshot_limit=4, n_publishers=60, include_case_study=False
+    )
+
+    def generate():
+        return EcosystemGenerator(config).generate()
+
+    result = benchmark.pedantic(generate, rounds=1, iterations=1)
+    assert len(result.dataset) > 1000
+    save_lines(
+        "generator_small",
+        [
+            "4-snapshot, 60-publisher build:",
+            f"  records: {len(result.dataset)}",
+        ],
+    )
+
+
+def test_dataset_save_load(benchmark, eco_full, tmp_path):
+    sample = Dataset(eco_full.dataset.records[:20_000])
+    path = tmp_path / "sample.jsonl.gz"
+
+    def roundtrip():
+        sample.save(path)
+        return Dataset.load(path)
+
+    loaded = benchmark.pedantic(roundtrip, rounds=1, iterations=1)
+    assert len(loaded) == len(sample)

@@ -1,0 +1,25 @@
+"""§4.3/§4.4 prose statistics: the roll-up numbers the paper quotes."""
+
+from benchmarks.conftest import run_and_save
+
+
+def test_s44_summary(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "S44")
+    by_dim = {row["dimension"]: row for row in rows}
+    # Paper §4.4: weighted averages 2.2 protocols / 4.5 platforms /
+    # 4.5 CDNs; >90% of view-hours from multi-instance publishers.
+    assert 1.8 < by_dim["protocols"]["weighted_avg_count"] < 3.0
+    assert 4.0 < by_dim["platforms"]["weighted_avg_count"] < 5.0
+    assert 3.8 < by_dim["cdns"]["weighted_avg_count"] < 5.0
+    for name in ("protocols", "platforms", "cdns"):
+        assert by_dim[name]["pct_vh_multi_instance"] > 85
+    assert by_dim["top-5 CDN view-hour share"]["avg_count"] > 90
+
+
+def test_s43_live_vod_segregation(benchmark, eco_full):
+    rows = run_and_save(benchmark, eco_full, "S43L")
+    by_stat = {row["stat"]: row for row in rows}
+    # Paper: 30% of multi-CDN live+VoD publishers keep a VoD-only CDN;
+    # 19% keep a live-only CDN.
+    assert 12 < by_stat["vod-only CDN"]["measured_pct"] < 55
+    assert 5 < by_stat["live-only CDN"]["measured_pct"] < 45

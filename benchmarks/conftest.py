@@ -1,0 +1,61 @@
+"""Benchmark fixtures.
+
+``eco_full`` is the full-fidelity dataset: all 59 bi-weekly snapshots
+of the 27-month study window, generated once per benchmark session
+(~1 minute).  Every per-figure benchmark times its analysis with
+``benchmark.pedantic(rounds=1)`` — these are second-scale analytical
+jobs, not microbenchmarks — and writes the regenerated figure rows to
+``benchmarks/output/<id>.txt`` so the paper-vs-measured comparison is
+inspectable after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Mapping, Sequence
+
+import pytest
+
+from repro import figures
+from repro.core.report import format_table
+from repro.synthesis.generator import EcosystemResult, generate_default_dataset
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def eco_full() -> EcosystemResult:
+    """The full 59-snapshot synthetic dataset (generated once)."""
+    return generate_default_dataset(seed=2018, snapshot_limit=0)
+
+
+@pytest.fixture(scope="session")
+def dataset_full(eco_full):
+    return eco_full.dataset
+
+
+def run_and_save(benchmark, eco: EcosystemResult, figure_id: str):
+    """Time one registered figure and persist its rows."""
+    rows = benchmark.pedantic(
+        figures.run_figure, args=(figure_id, eco), rounds=1, iterations=1
+    )
+    save_rows(figure_id, rows)
+    return rows
+
+
+def save_rows(
+    name: str, rows: Sequence[Mapping[str, object]], header: str = ""
+) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    title = header or (
+        f"{name}: {figures.describe(name)}"
+        if name in figures.figure_ids()
+        else name
+    )
+    text = f"== {title} ==\n{format_table(list(rows))}\n"
+    (OUTPUT_DIR / f"{name}.txt").write_text(text)
+
+
+def save_lines(name: str, lines: List[str]) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text("\n".join(lines) + "\n")

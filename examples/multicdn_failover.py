@@ -1,0 +1,79 @@
+"""Multi-CDN delivery under a CDN degradation event.
+
+Demonstrates the delivery substrate beyond the paper's measurements: a
+publisher spreads views across three CDNs via a measurement-driven
+broker; mid-experiment one CDN degrades, and the broker steers traffic
+away.  Also shows the anycast route-stability check of §4.3.
+
+Run with::
+
+    python examples/multicdn_failover.py
+"""
+
+import numpy as np
+
+from repro.constants import ContentType
+from repro.delivery.anycast import AnycastRouteModel
+from repro.delivery.multicdn import CdnBroker
+from repro.delivery.network import NetworkPath
+from repro.entities.cdn import CDN, CdnAssignment
+from repro.entities.ladder import BitrateLadder
+from repro.playback.session import SessionConfig, simulate_session
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    assignments = tuple(
+        CdnAssignment(cdn=CDN(name=name, uses_anycast=(name == "B")))
+        for name in ("A", "B", "C")
+    )
+    paths = {
+        "A": NetworkPath(isp="X", cdn_name="A", median_kbps=8000, sigma=0.4),
+        "B": NetworkPath(isp="X", cdn_name="B", median_kbps=7000, sigma=0.4),
+        "C": NetworkPath(isp="X", cdn_name="C", median_kbps=6000, sigma=0.4),
+    }
+    degraded = NetworkPath(isp="X", cdn_name="A", median_kbps=900, sigma=0.4)
+    ladder = BitrateLadder.from_bitrates((150, 400, 900, 2000, 4500))
+    broker = CdnBroker(explore=0.1)
+    config = SessionConfig(view_seconds=300.0)
+
+    tallies = {"healthy": {}, "degraded": {}}
+    for phase, a_path in (("healthy", paths["A"]), ("degraded", degraded)):
+        live_paths = dict(paths)
+        live_paths["A"] = a_path
+        counts = {}
+        for _ in range(300):
+            decision = broker.select(assignments, ContentType.VOD, rng)
+            result = simulate_session(
+                ladder, live_paths[decision.cdn_name], config, rng
+            )
+            broker.observe(decision.cdn_name, result.average_bitrate_kbps)
+            counts[decision.cdn_name] = counts.get(decision.cdn_name, 0) + 1
+        tallies[phase] = counts
+
+    print("Broker traffic split per 300 views:")
+    for phase in ("healthy", "degraded"):
+        counts = tallies[phase]
+        split = ", ".join(
+            f"{name}: {counts.get(name, 0):3d}" for name in ("A", "B", "C")
+        )
+        print(f"  CDN A {phase:9s}: {split}")
+    assert tallies["degraded"].get("A", 0) < tallies["healthy"].get("A", 0)
+    print("  -> the broker steered views away from the degraded CDN\n")
+
+    # §4.3's anycast question: would route changes disrupt long views?
+    anycast = AnycastRouteModel(daily_change_rate=0.2)
+    for minutes in (5, 30, 120):
+        probability = anycast.disruption_probability(minutes * 60)
+        print(
+            f"P[anycast route change during a {minutes:3d}-minute view]: "
+            f"{probability:.4%}"
+        )
+    print(
+        "-> consistent with §4.3: anycast instability is not a blocking "
+        "factor for video delivery"
+    )
+
+
+if __name__ == "__main__":
+    main()

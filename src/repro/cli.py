@@ -1,0 +1,130 @@
+"""Command-line interface.
+
+::
+
+    repro generate --out dataset.jsonl.gz [--seed N] [--snapshots K]
+    repro figure F2a [--dataset dataset.jsonl.gz] [--seed N]
+    repro figures                # list ids
+    repro summary [--seed N]     # §4.4 roll-up
+
+Figures that need generator ground truth (catalogue sizes, the case
+study) regenerate the ecosystem from the seed; pure-dataset figures can
+run against a saved dataset file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import figures
+from repro.core.report import format_table
+from repro.synthesis.calibration import EcosystemConfig
+from repro.synthesis.generator import EcosystemGenerator, EcosystemResult
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Understanding Video Management Planes' "
+            "(IMC 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic dataset and save it"
+    )
+    generate.add_argument("--out", required=True, help="output .jsonl[.gz]")
+    _add_generator_args(generate)
+
+    fig = sub.add_parser("figure", help="regenerate one figure/table")
+    fig.add_argument("figure_id", help="e.g. F2a, F13, T1 (see `figures`)")
+    _add_generator_args(fig)
+
+    sub.add_parser("figures", help="list known figure ids")
+
+    summary = sub.add_parser("summary", help="print the §4.4 roll-up")
+    _add_generator_args(summary)
+
+    experiments = sub.add_parser(
+        "experiments", help="paper-vs-measured verification report"
+    )
+    _add_generator_args(experiments)
+
+    return parser
+
+
+def _add_generator_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument(
+        "--snapshots",
+        type=int,
+        default=0,
+        help="0 = full 59-snapshot schedule; >=2 thins it for speed",
+    )
+    parser.add_argument(
+        "--publishers", type=int, default=110, help="population size"
+    )
+
+
+def _generate(args: argparse.Namespace) -> EcosystemResult:
+    config = EcosystemConfig(
+        seed=args.seed,
+        snapshot_limit=args.snapshots,
+        n_publishers=args.publishers,
+    )
+    return EcosystemGenerator(config).generate()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "figures":
+        for figure_id in figures.figure_ids():
+            print(f"{figure_id:6s} {figures.describe(figure_id)}")
+        return 0
+
+    if args.command == "generate":
+        result = _generate(args)
+        result.dataset.save(args.out)
+        print(
+            f"wrote {len(result.dataset)} records "
+            f"({len(result.dataset.snapshots())} snapshots, "
+            f"{len(result.dataset.publishers())} publishers) to {args.out}"
+        )
+        return 0
+
+    if args.command == "figure":
+        result = _generate(args)
+        rows = figures.run_figure(args.figure_id, result)
+        print(f"== {args.figure_id}: {figures.describe(args.figure_id)} ==")
+        print(format_table(rows))
+        return 0
+
+    if args.command == "summary":
+        result = _generate(args)
+        rows = figures.run_figure("S44", result)
+        print(format_table(rows))
+        return 0
+
+    if args.command == "experiments":
+        from repro.experiments import build_report, fraction_within_band
+
+        result = _generate(args)
+        comparisons = build_report(result)
+        print(format_table([c.row() for c in comparisons]))
+        within = fraction_within_band(comparisons)
+        print(
+            f"\n{within:.0%} of {len(comparisons)} comparisons inside "
+            "their acceptance band"
+        )
+        return 0 if within > 0.8 else 1
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

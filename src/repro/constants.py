@@ -1,0 +1,152 @@
+"""Domain constants for the video management plane.
+
+The paper characterizes management planes along three dimensions:
+packaging (streaming protocols), device playback (platforms and devices),
+and content distribution (CDNs).  This module defines the closed
+vocabularies for those dimensions, matching §2 and §4 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Protocol(enum.Enum):
+    """Streaming protocols observed in the dataset (§4.1, Table 1)."""
+
+    HLS = "hls"
+    DASH = "dash"
+    MSS = "smoothstreaming"
+    HDS = "hds"
+    RTMP = "rtmp"
+    PROGRESSIVE = "progressive"
+
+    @property
+    def is_http_adaptive(self) -> bool:
+        """True for chunked HTTP adaptive-streaming protocols.
+
+        §4.1 restricts most analyses to HTTP-based protocols; RTMP and
+        progressive download are excluded after the opening prevalence
+        numbers.
+        """
+        return self in _HTTP_ADAPTIVE
+
+    @property
+    def display_name(self) -> str:
+        return _PROTOCOL_DISPLAY[self]
+
+
+_HTTP_ADAPTIVE = frozenset(
+    {Protocol.HLS, Protocol.DASH, Protocol.MSS, Protocol.HDS}
+)
+
+_PROTOCOL_DISPLAY = {
+    Protocol.HLS: "HLS",
+    Protocol.DASH: "DASH",
+    Protocol.MSS: "SmoothStreaming",
+    Protocol.HDS: "HDS",
+    Protocol.RTMP: "RTMP",
+    Protocol.PROGRESSIVE: "Progressive",
+}
+
+#: The four protocols tracked longitudinally in Figs 2-4.
+HTTP_ADAPTIVE_PROTOCOLS = (
+    Protocol.HLS,
+    Protocol.DASH,
+    Protocol.MSS,
+    Protocol.HDS,
+)
+
+
+class Platform(enum.Enum):
+    """Playback platform categories (§4.2, Fig 5).
+
+    Browsers cover desktop/laptop/tablet/mobile browser viewing; the four
+    app-based categories are mobile apps, smart TVs, streaming set-top
+    boxes, and gaming consoles.  The paper distinguishes set-top boxes
+    from smart TVs because set-tops need their own SDKs and may be
+    attached to smart TVs.
+    """
+
+    BROWSER = "browser"
+    MOBILE = "mobile"
+    SET_TOP = "set_top"
+    SMART_TV = "smart_tv"
+    CONSOLE = "console"
+
+    @property
+    def is_app_based(self) -> bool:
+        return self is not Platform.BROWSER
+
+    @property
+    def display_name(self) -> str:
+        return _PLATFORM_DISPLAY[self]
+
+
+_PLATFORM_DISPLAY = {
+    Platform.BROWSER: "Browser",
+    Platform.MOBILE: "Mobile app",
+    Platform.SET_TOP: "Set-top box",
+    Platform.SMART_TV: "Smart TV",
+    Platform.CONSOLE: "Game console",
+}
+
+ALL_PLATFORMS = tuple(Platform)
+
+
+class ContentType(enum.Enum):
+    """Live versus video-on-demand content (§4.3)."""
+
+    LIVE = "live"
+    VOD = "vod"
+
+
+class ConnectionType(enum.Enum):
+    """Client network connectivity, used for fair QoE comparisons (§6)."""
+
+    WIFI = "wifi"
+    CELLULAR_4G = "4g"
+    WIRED = "wired"
+
+
+class SyndicationRole(enum.Enum):
+    """Role of a publisher in the syndication ecosystem (§6)."""
+
+    OWNER = "owner"
+    FULL_SYNDICATOR = "full_syndicator"
+    NONE = "none"
+
+
+#: Manifest file extensions per protocol (Table 1 of the paper, plus the
+#: two exceptions discussed in §3 footnote 5: RTMP is detected from the
+#: URL scheme and progressive download from media-file extensions).
+MANIFEST_EXTENSIONS = {
+    Protocol.HLS: (".m3u8", ".m3u"),
+    Protocol.DASH: (".mpd",),
+    Protocol.MSS: (".ism", ".isml"),
+    Protocol.HDS: (".f4m",),
+}
+
+PROGRESSIVE_EXTENSIONS = (".mp4", ".flv", ".webm", ".mov")
+
+#: Browser player technologies tracked in Fig 10a.
+BROWSER_PLAYERS = ("html5", "flash", "silverlight", "other_plugin")
+
+#: Mobile operating systems tracked in Fig 10b.
+MOBILE_OSES = ("android", "ios", "other_mobile")
+
+#: Set-top box families tracked in Fig 10c.
+SET_TOP_DEVICES = ("roku", "appletv", "firetv", "chromecast", "other_settop")
+
+#: Smart TV families (§4.2).
+SMART_TV_DEVICES = ("samsung_tv", "lg_tv", "android_tv", "other_tv")
+
+#: Console families (§4.2).
+CONSOLE_DEVICES = ("xbox", "playstation", "other_console")
+
+#: Number of distinct CDNs observed in the dataset (§4.3).
+TOTAL_CDN_COUNT = 36
+
+#: Anonymized labels of the five CDNs that together serve >93% of
+#: view-hours (§4.3, Fig 11).
+TOP_CDN_NAMES = ("A", "B", "C", "D", "E")

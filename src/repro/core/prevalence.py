@@ -1,0 +1,135 @@
+"""Prevalence analyses: how each dimension evolved (Figs 2, 6, 7, 10, 11).
+
+Two generic time series per dimension:
+
+* *across publishers* — % of publishers with at least one view on a
+  value in each snapshot (sums can exceed 100%: publishers support
+  multiple values);
+* *by view-hours* (or views) — % of snapshot view-hours attributable to
+  each value, optionally excluding named publishers (the paper's
+  "remove the largest publishers" cuts, Figs 2c and 6b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from datetime import date
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.core.dimensions import Dimension
+from repro.telemetry.dataset import Dataset
+
+#: snapshot date -> value -> percentage
+SeriesByValue = Dict[date, Dict[object, float]]
+
+
+def publisher_support_series(
+    dataset: Dataset, dimension: Dimension
+) -> SeriesByValue:
+    """% of publishers supporting each value, per snapshot (Figs 2a, 7, 11a)."""
+    if len(dataset) == 0:
+        raise AnalysisError("dataset is empty")
+    series: SeriesByValue = {}
+    for snapshot in dataset.snapshots():
+        snap = dataset.for_snapshot(snapshot)
+        publishers_by_value: Dict[object, set] = defaultdict(set)
+        all_publishers = set()
+        for record in snap:
+            all_publishers.add(record.publisher_id)
+            for value in dimension.values(record):
+                publishers_by_value[value].add(record.publisher_id)
+        total = len(all_publishers)
+        series[snapshot] = {
+            value: 100.0 * len(publishers) / total
+            for value, publishers in publishers_by_value.items()
+        }
+    return series
+
+
+def view_hour_share_series(
+    dataset: Dataset,
+    dimension: Dimension,
+    exclude_publishers: Iterable[str] = (),
+    by_views: bool = False,
+) -> SeriesByValue:
+    """% of view-hours (or views) per value, per snapshot.
+
+    Figs 2b/6a/10/11b; with ``exclude_publishers`` it is Figs 2c/6b; with
+    ``by_views=True`` it is Fig 6c.  Percentages are of the in-scope
+    total (records the dimension classifies), so they sum to ~100%.
+    """
+    excluded = set(exclude_publishers)
+    series: SeriesByValue = {}
+    for snapshot in dataset.snapshots():
+        snap = dataset.for_snapshot(snapshot)
+        totals: Dict[object, float] = defaultdict(float)
+        in_scope_total = 0.0
+        for record in snap:
+            if record.publisher_id in excluded:
+                continue
+            weighted = dimension.weighted_values(record)
+            if not weighted:
+                continue
+            amount = record.views if by_views else record.view_hours
+            in_scope_total += amount
+            for value, fraction in weighted:
+                totals[value] += amount * fraction
+        if in_scope_total <= 0:
+            raise AnalysisError(
+                f"snapshot {snapshot} has no in-scope records"
+            )
+        series[snapshot] = {
+            value: 100.0 * total / in_scope_total
+            for value, total in totals.items()
+        }
+    return series
+
+
+def share_at(
+    series: SeriesByValue, snapshot: date, value: object
+) -> float:
+    """Share of one value at one snapshot (0 when absent)."""
+    if snapshot not in series:
+        raise AnalysisError(f"no snapshot {snapshot} in series")
+    return series[snapshot].get(value, 0.0)
+
+
+def first_last(
+    series: SeriesByValue, value: object
+) -> Tuple[float, float]:
+    """(first snapshot share, last snapshot share) of one value."""
+    if not series:
+        raise AnalysisError("empty series")
+    snapshots = sorted(series)
+    return (
+        series[snapshots[0]].get(value, 0.0),
+        series[snapshots[-1]].get(value, 0.0),
+    )
+
+
+def top_values(
+    series: SeriesByValue, snapshot: Optional[date] = None, n: int = 5
+) -> List[object]:
+    """Values ranked by share at one snapshot (default: the latest)."""
+    if not series:
+        raise AnalysisError("empty series")
+    snapshot = snapshot if snapshot is not None else sorted(series)[-1]
+    shares = series[snapshot]
+    return sorted(shares, key=lambda v: shares[v], reverse=True)[:n]
+
+
+def series_rows(
+    series: SeriesByValue, values: Sequence[object]
+) -> List[Dict[str, object]]:
+    """Flatten a series into printable rows (one per snapshot)."""
+    rows: List[Dict[str, object]] = []
+    for snapshot in sorted(series):
+        row: Dict[str, object] = {"snapshot": snapshot.isoformat()}
+        for value in values:
+            label = getattr(value, "display_name", None) or getattr(
+                value, "value", None
+            ) or str(value)
+            row[str(label)] = round(series[snapshot].get(value, 0.0), 2)
+        rows.append(row)
+    return rows

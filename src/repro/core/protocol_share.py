@@ -1,0 +1,66 @@
+"""Per-publisher protocol share CDFs (Fig 4).
+
+Among publishers that *support* a protocol, what fraction of each
+publisher's view-hours does that protocol carry?  The paper's contrast:
+half of HLS supporters put >=85% of their view-hours on HLS, while half
+of DASH supporters put <=20% on DASH — DASH support is broad but
+shallow outside the few large drivers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.constants import Protocol
+from repro.core.dimensions import ProtocolDimension
+from repro.errors import AnalysisError
+from repro.stats.cdf import ECDF
+from repro.telemetry.dataset import Dataset
+
+
+def per_publisher_protocol_share(
+    dataset: Dataset, protocol: Protocol
+) -> Dict[str, float]:
+    """protocol's % of each supporting publisher's HTTP view-hours."""
+    dimension = ProtocolDimension(http_only=True)
+    by_protocol: Dict[str, float] = defaultdict(float)
+    totals: Dict[str, float] = defaultdict(float)
+    for record in dataset:
+        values = dimension.values(record)
+        if not values:
+            continue
+        totals[record.publisher_id] += record.view_hours
+        if values[0] is protocol:
+            by_protocol[record.publisher_id] += record.view_hours
+    shares = {
+        publisher: 100.0 * by_protocol[publisher] / totals[publisher]
+        for publisher in by_protocol
+        if totals[publisher] > 0
+    }
+    if not shares:
+        raise AnalysisError(
+            f"no publisher uses {protocol.display_name} in this slice"
+        )
+    return shares
+
+
+def share_cdf(dataset: Dataset, protocol: Protocol) -> ECDF:
+    """CDF across supporting publishers of the protocol's share (Fig 4)."""
+    return ECDF(per_publisher_protocol_share(dataset, protocol).values())
+
+
+def supporter_medians(dataset: Dataset) -> Dict[Protocol, float]:
+    """Median per-publisher share for each HTTP protocol with support."""
+    medians: Dict[Protocol, float] = {}
+    for protocol in (
+        Protocol.HLS,
+        Protocol.DASH,
+        Protocol.MSS,
+        Protocol.HDS,
+    ):
+        try:
+            medians[protocol] = share_cdf(dataset, protocol).median()
+        except AnalysisError:
+            continue
+    return medians

@@ -1,0 +1,182 @@
+"""Multi-CDN selection policies and the CDN broker.
+
+§2/§4.3: publishers use multiple CDNs for performance and availability;
+some route through a broker that picks the best CDN per view and offers
+monitoring even to single-CDN publishers; a significant fraction of
+publishers segregate live and VoD traffic by CDN.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import ContentType
+from repro.entities.cdn import CdnAssignment
+from repro.errors import DeliveryError
+
+
+class CdnSelectionPolicy(abc.ABC):
+    """Chooses a CDN name for one view."""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        assignments: Sequence[CdnAssignment],
+        content_type: ContentType,
+        rng: np.random.Generator,
+    ) -> str:
+        """Return the chosen CDN's name."""
+
+    @staticmethod
+    def eligible(
+        assignments: Sequence[CdnAssignment], content_type: ContentType
+    ) -> Tuple[CdnAssignment, ...]:
+        chosen = tuple(a for a in assignments if a.serves(content_type))
+        if not chosen:
+            raise DeliveryError(
+                f"no CDN assignment serves {content_type.value} content"
+            )
+        return chosen
+
+
+class RoundRobinPolicy(CdnSelectionPolicy):
+    """Cycles through eligible CDNs, view by view."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(
+        self,
+        assignments: Sequence[CdnAssignment],
+        content_type: ContentType,
+        rng: np.random.Generator,
+    ) -> str:
+        eligible = self.eligible(assignments, content_type)
+        choice = eligible[self._next % len(eligible)]
+        self._next += 1
+        return choice.cdn.name
+
+
+class WeightedPolicy(CdnSelectionPolicy):
+    """Samples CDNs with fixed weights (traffic-split contracts)."""
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise DeliveryError("weighted policy needs weights")
+        if any(w < 0 for w in weights.values()):
+            raise DeliveryError("weights must be non-negative")
+        if sum(weights.values()) <= 0:
+            raise DeliveryError("some weight must be positive")
+        self.weights = dict(weights)
+
+    def select(
+        self,
+        assignments: Sequence[CdnAssignment],
+        content_type: ContentType,
+        rng: np.random.Generator,
+    ) -> str:
+        eligible = self.eligible(assignments, content_type)
+        names = [a.cdn.name for a in eligible]
+        raw = np.array(
+            [self.weights.get(name, 0.0) for name in names], dtype=float
+        )
+        if raw.sum() <= 0:
+            raise DeliveryError(
+                f"no positive weight among eligible CDNs {names}"
+            )
+        probs = raw / raw.sum()
+        return str(rng.choice(names, p=probs))
+
+
+class ContentTypeSplitPolicy(CdnSelectionPolicy):
+    """Routes live and VoD to disjoint CDN subsets where possible.
+
+    Models the §4.3 observation that 30% of multi-CDN publishers keep at
+    least one CDN VoD-only and 19% keep one live-only; within the
+    eligible subset selection is uniform.
+    """
+
+    def select(
+        self,
+        assignments: Sequence[CdnAssignment],
+        content_type: ContentType,
+        rng: np.random.Generator,
+    ) -> str:
+        eligible = self.eligible(assignments, content_type)
+        exclusive = [
+            a
+            for a in eligible
+            if a.content_types == frozenset({content_type})
+        ]
+        pool = exclusive or list(eligible)
+        idx = int(rng.integers(len(pool)))
+        return pool[idx].cdn.name
+
+
+@dataclass
+class BrokerDecision:
+    """One broker selection with the evidence behind it."""
+
+    cdn_name: str
+    predicted_kbps: float
+    scores: Dict[str, float] = field(default_factory=dict)
+
+
+class CdnBroker:
+    """A measurement-driven CDN broker (§2, [72]).
+
+    Maintains an exponentially weighted moving average of observed
+    throughput per CDN and picks the current best; with probability
+    ``explore`` it samples a non-best CDN to keep estimates fresh.
+    """
+
+    def __init__(self, explore: float = 0.1, alpha: float = 0.3) -> None:
+        if not 0.0 <= explore < 1.0:
+            raise DeliveryError("explore must be in [0, 1)")
+        if not 0.0 < alpha <= 1.0:
+            raise DeliveryError("alpha must be in (0, 1]")
+        self.explore = explore
+        self.alpha = alpha
+        self._ewma_kbps: Dict[str, float] = {}
+
+    def observe(self, cdn_name: str, throughput_kbps: float) -> None:
+        """Feed one throughput measurement for a CDN."""
+        if throughput_kbps < 0:
+            raise DeliveryError("throughput must be non-negative")
+        prior = self._ewma_kbps.get(cdn_name)
+        if prior is None:
+            self._ewma_kbps[cdn_name] = throughput_kbps
+        else:
+            self._ewma_kbps[cdn_name] = (
+                self.alpha * throughput_kbps + (1 - self.alpha) * prior
+            )
+
+    def estimate(self, cdn_name: str) -> Optional[float]:
+        return self._ewma_kbps.get(cdn_name)
+
+    def select(
+        self,
+        assignments: Sequence[CdnAssignment],
+        content_type: ContentType,
+        rng: np.random.Generator,
+    ) -> BrokerDecision:
+        eligible = CdnSelectionPolicy.eligible(assignments, content_type)
+        names = [a.cdn.name for a in eligible]
+        scores = {
+            name: self._ewma_kbps.get(name, float("inf")) for name in names
+        }
+        # Unmeasured CDNs score infinity so each gets probed once.
+        best = max(names, key=lambda name: scores[name])
+        if len(names) > 1 and rng.random() < self.explore:
+            others = [name for name in names if name != best]
+            best = others[int(rng.integers(len(others)))]
+        predicted = scores[best]
+        return BrokerDecision(
+            cdn_name=best,
+            predicted_kbps=predicted if predicted != float("inf") else 0.0,
+            scores={k: (v if v != float("inf") else 0.0) for k, v in scores.items()},
+        )

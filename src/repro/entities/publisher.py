@@ -1,0 +1,134 @@
+"""Publishers and their per-snapshot management-plane profiles.
+
+A publisher's identity (ID, syndication role, live/VoD mix, size class)
+is stable; its management plane — which protocols it packages for,
+which platforms it builds players for, which CDNs it pushes to, which
+SDK versions it maintains — evolves over the 27-month study window.
+:class:`PublisherProfile` is the state of one publisher's management
+plane during one snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.constants import ContentType, Platform, Protocol, SyndicationRole
+from repro.entities.cdn import CdnAssignment
+from repro.entities.device import SDK
+
+
+@dataclass(frozen=True)
+class Publisher:
+    """Stable identity of a content publisher (anonymized, as in §3)."""
+
+    publisher_id: str
+    daily_view_hours: float
+    role: SyndicationRole = SyndicationRole.NONE
+    serves_live: bool = False
+    serves_vod: bool = True
+    catalogue_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.publisher_id:
+            raise ValueError("publisher_id must be non-empty")
+        if self.daily_view_hours <= 0:
+            raise ValueError("daily view-hours must be positive")
+        if not (self.serves_live or self.serves_vod):
+            raise ValueError("publisher must serve live or VoD content")
+        if self.catalogue_size < 1:
+            raise ValueError("catalogue must contain at least one title")
+
+    @property
+    def content_types(self) -> Tuple[ContentType, ...]:
+        types: List[ContentType] = []
+        if self.serves_live:
+            types.append(ContentType.LIVE)
+        if self.serves_vod:
+            types.append(ContentType.VOD)
+        return tuple(types)
+
+
+@dataclass
+class PublisherProfile:
+    """One publisher's management plane during one snapshot.
+
+    The three §4 dimensions (protocols, platforms, CDNs) plus the SDK
+    matrix that feeds the §5 unique-SDKs complexity metric.
+    """
+
+    publisher: Publisher
+    protocols: FrozenSet[Protocol]
+    platforms: FrozenSet[Platform]
+    cdn_assignments: Tuple[CdnAssignment, ...]
+    sdks: FrozenSet[SDK] = frozenset()
+    device_models: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.protocols:
+            raise ValueError("profile must support at least one protocol")
+        if not self.platforms:
+            raise ValueError("profile must support at least one platform")
+        if not self.cdn_assignments:
+            raise ValueError("profile must use at least one CDN")
+        names = [a.cdn.name for a in self.cdn_assignments]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate CDN assignment")
+
+    @property
+    def cdn_names(self) -> Tuple[str, ...]:
+        return tuple(a.cdn.name for a in self.cdn_assignments)
+
+    @property
+    def protocol_count(self) -> int:
+        return len(self.protocols)
+
+    @property
+    def platform_count(self) -> int:
+        return len(self.platforms)
+
+    @property
+    def cdn_count(self) -> int:
+        return len(self.cdn_assignments)
+
+    def cdns_for(self, content_type: ContentType) -> Tuple[str, ...]:
+        """Names of CDNs this publisher routes ``content_type`` to."""
+        return tuple(
+            a.cdn.name for a in self.cdn_assignments if a.serves(content_type)
+        )
+
+    def has_content_type_exclusive_cdn(
+        self, content_type: ContentType
+    ) -> bool:
+        """True if some CDN is used *only* for ``content_type`` (§4.3)."""
+        for assignment in self.cdn_assignments:
+            if assignment.content_types == frozenset({content_type}):
+                return True
+        return False
+
+    def management_plane_combinations(self) -> int:
+        """The §5 combinations metric for this profile.
+
+        Number of unique (CDN, protocol, device model) triples the
+        publisher must potentially examine when triaging a failure.
+        """
+        device_count = max(len(self.device_models), 1)
+        return self.cdn_count * self.protocol_count * device_count
+
+    def protocol_titles(self) -> int:
+        """The §5 protocol-titles metric: protocols x distinct video IDs."""
+        return self.protocol_count * self.publisher.catalogue_size
+
+    def unique_sdk_count(self) -> int:
+        """The §5 unique-SDKs metric: distinct SDK versions + browsers.
+
+        Browser players do not use device SDKs; each distinct browser
+        player model the publisher supports counts once, matching the
+        paper's "unique versions of SDKs and browsers".
+        """
+        browser_models = sum(
+            1 for model in self.device_models if model.startswith(
+                ("chrome", "firefox", "safari", "edge", "ie")
+            )
+        )
+        return len(self.sdks) + browser_models

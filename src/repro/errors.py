@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ManifestError(ReproError):
+    """A manifest could not be rendered or parsed."""
+
+
+class ManifestParseError(ManifestError):
+    """A manifest document is syntactically or semantically invalid."""
+
+
+class ProtocolDetectionError(ReproError):
+    """A URL could not be mapped to a streaming protocol (Table 1)."""
+
+
+class PackagingError(ReproError):
+    """The packaging pipeline was misconfigured or failed."""
+
+
+class LadderError(ReproError):
+    """A bitrate ladder violates its invariants."""
+
+
+class DatasetError(ReproError):
+    """A telemetry dataset could not be loaded, saved, or validated."""
+
+
+class CalibrationError(ReproError):
+    """Ecosystem-generator calibration parameters are inconsistent."""
+
+
+class DeliveryError(ReproError):
+    """CDN/origin/edge delivery model failure."""
+
+
+class PlaybackError(ReproError):
+    """Playback-session simulation failure."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was run against data that cannot support it."""

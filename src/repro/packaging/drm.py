@@ -1,0 +1,82 @@
+"""Digital Rights Management wrapper.
+
+§2: "publishers optionally use DRM software to encrypt the video so
+that only authenticated users can access it" — orthogonal to transport
+TLS.  The paper's dataset lacked DRM analytics (§3 limitations), so no
+analysis depends on this module; it exists so the packaging pipeline is
+complete end to end and so tests can exercise the encrypt/authorize
+path.  The "encryption" here is a keyed XOR placeholder — this is a
+simulation of the *pipeline stage*, not a cryptosystem.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.errors import PackagingError
+
+
+class DrmScheme(enum.Enum):
+    """DRM schemes commonly attached to each streaming protocol."""
+
+    NONE = "none"
+    FAIRPLAY = "fairplay"  # Apple / HLS
+    WIDEVINE = "widevine"  # Google / DASH
+    PLAYREADY = "playready"  # Microsoft / MSS and DASH
+
+
+@dataclass(frozen=True)
+class DrmLicense:
+    """A playback license bound to a video and a device class."""
+
+    video_id: str
+    scheme: DrmScheme
+    device_classes: FrozenSet[str]
+    key_id: str
+
+    def authorizes(self, video_id: str, device_class: str) -> bool:
+        return (
+            video_id == self.video_id and device_class in self.device_classes
+        )
+
+
+class DrmWrapper:
+    """Encrypts chunk payloads and issues licenses for one scheme."""
+
+    def __init__(self, scheme: DrmScheme, secret: str = "repro-drm") -> None:
+        if scheme is DrmScheme.NONE:
+            raise PackagingError("use no wrapper at all for unencrypted content")
+        self.scheme = scheme
+        self._secret = secret
+
+    def content_key(self, video_id: str) -> bytes:
+        """Derive the per-title content key."""
+        material = f"{self.scheme.value}:{self._secret}:{video_id}"
+        return hashlib.sha256(material.encode()).digest()
+
+    def encrypt(self, video_id: str, payload: bytes) -> bytes:
+        """Keyed-XOR placeholder encryption of a chunk payload."""
+        key = self.content_key(video_id)
+        return bytes(
+            byte ^ key[i % len(key)] for i, byte in enumerate(payload)
+        )
+
+    def decrypt(self, video_id: str, payload: bytes) -> bytes:
+        """XOR is an involution, so decryption mirrors encryption."""
+        return self.encrypt(video_id, payload)
+
+    def issue_license(
+        self, video_id: str, device_classes: FrozenSet[str]
+    ) -> DrmLicense:
+        if not device_classes:
+            raise PackagingError("license must authorize some device class")
+        key_id = hashlib.sha256(self.content_key(video_id)).hexdigest()[:16]
+        return DrmLicense(
+            video_id=video_id,
+            scheme=self.scheme,
+            device_classes=device_classes,
+            key_id=key_id,
+        )

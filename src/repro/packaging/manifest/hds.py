@@ -1,0 +1,135 @@
+"""Adobe HTTP Dynamic Streaming manifests (.f4m) — F4M 2.0 subset.
+
+HDS describes a presentation in an XML ``manifest`` document whose
+``media`` elements carry per-rendition bitrates (in kbps, unlike the
+bps used by DASH/MSS) and reference F4F fragment URLs through a
+``bootstrapInfo`` box.  HDS was already in decline during the study
+(19% of publishers by the last snapshot, Fig 2a).
+"""
+
+from __future__ import annotations
+
+import base64
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.constants import Protocol
+from repro.entities.ladder import BitrateLadder
+from repro.entities.video import Video
+from repro.errors import ManifestParseError
+from repro.packaging.manifest.base import (
+    ManifestInfo,
+    ManifestParser,
+    ManifestWriter,
+    chunk_count,
+)
+
+_F4M_NS = "http://ns.adobe.com/f4m/2.0"
+
+
+class HDSWriter(ManifestWriter):
+    """Renders an F4M manifest."""
+
+    protocol = Protocol.HDS
+    extension = ".f4m"
+    segment_extension = ".f4f"
+
+    def render(
+        self, video: Video, ladder: BitrateLadder, base_url: str
+    ) -> str:
+        ET.register_namespace("", _F4M_NS)
+        root = ET.Element(f"{{{_F4M_NS}}}manifest")
+        media_id = ET.SubElement(root, f"{{{_F4M_NS}}}id")
+        media_id.text = video.video_id
+        duration = ET.SubElement(root, f"{{{_F4M_NS}}}duration")
+        duration.text = f"{video.duration_seconds:.3f}"
+        bootstrap = ET.SubElement(
+            root,
+            f"{{{_F4M_NS}}}bootstrapInfo",
+            {"profile": "named", "id": "bootstrap1"},
+        )
+        bootstrap.text = base64.b64encode(
+            f"abst:{video.video_id}:{self.chunk_duration_seconds:.3f}".encode()
+        ).decode()
+        for rendition in ladder:
+            ET.SubElement(
+                root,
+                f"{{{_F4M_NS}}}media",
+                {
+                    "bitrate": str(int(round(rendition.bitrate_kbps))),
+                    "width": str(rendition.width),
+                    "height": str(rendition.height),
+                    "url": (
+                        f"{base_url.rstrip('/')}/{video.video_id}/"
+                        f"{int(round(rendition.bitrate_kbps))}k/"
+                    ),
+                    "bootstrapInfoId": "bootstrap1",
+                },
+            )
+        header = '<?xml version="1.0" encoding="UTF-8"?>\n'
+        return header + ET.tostring(root, encoding="unicode") + "\n"
+
+
+class HDSParser(ManifestParser):
+    """Parses the F4M subset the writer produces."""
+
+    protocol = Protocol.HDS
+
+    def parse(self, text: str) -> ManifestInfo:
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ManifestParseError(f"F4M is not well-formed XML: {exc}")
+        if not root.tag.endswith("manifest"):
+            raise ManifestParseError(
+                f"root element is {root.tag!r}, not manifest"
+            )
+        ns = {"f": _F4M_NS}
+        id_el = root.find("f:id", ns)
+        video_id = id_el.text if id_el is not None and id_el.text else "unknown"
+        duration_el = root.find("f:duration", ns)
+        duration = (
+            float(duration_el.text)
+            if duration_el is not None and duration_el.text
+            else 0.0
+        )
+        chunk_duration = self._chunk_duration_from_bootstrap(root, ns)
+        bitrates: List[float] = []
+        chunk_urls: List[str] = []
+        for media in root.findall("f:media", ns):
+            bitrate = media.get("bitrate")
+            if bitrate is None:
+                raise ManifestParseError("media element missing bitrate")
+            kbps = float(bitrate)
+            bitrates.append(kbps)
+            url = media.get("url", "")
+            if url and duration > 0 and chunk_duration:
+                n = chunk_count(duration, chunk_duration)
+                chunk_urls.extend(
+                    f"{url}Seg1-Frag{i + 1}" for i in range(n)
+                )
+        if not bitrates:
+            raise ManifestParseError("F4M advertises no media renditions")
+        return ManifestInfo(
+            protocol=Protocol.HDS,
+            video_id=video_id,
+            bitrates_kbps=tuple(sorted(bitrates)),
+            chunk_duration_seconds=chunk_duration if chunk_duration > 0 else None,
+            chunk_urls=tuple(chunk_urls),
+        )
+
+    @staticmethod
+    def _chunk_duration_from_bootstrap(root, ns) -> float:
+        bootstrap = root.find("f:bootstrapInfo", ns)
+        if bootstrap is None or not bootstrap.text:
+            return 0.0
+        try:
+            decoded = base64.b64decode(bootstrap.text.strip()).decode()
+        except Exception as exc:  # malformed base64 payload
+            raise ManifestParseError(f"bad bootstrapInfo payload: {exc}")
+        parts = decoded.split(":")
+        if len(parts) != 3 or parts[0] != "abst":
+            raise ManifestParseError(
+                f"unrecognized bootstrapInfo {decoded!r}"
+            )
+        return float(parts[2])

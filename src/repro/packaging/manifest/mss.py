@@ -1,0 +1,176 @@
+"""Microsoft Smooth Streaming manifests (.ism/.isml) — ISM subset.
+
+Smooth Streaming serves a single ``SmoothStreamingMedia`` XML document
+listing ``StreamIndex`` elements (video, audio) whose ``QualityLevel``
+children carry rendition bitrates; segment timing uses 100-ns ticks.
+Live presentations use the ``.isml`` extension (Table 1).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.constants import ContentType, Protocol
+from repro.entities.ladder import BitrateLadder
+from repro.entities.video import Video
+from repro.errors import ManifestParseError
+from repro.packaging.manifest.base import (
+    ManifestInfo,
+    ManifestParser,
+    ManifestWriter,
+    chunk_count,
+)
+
+#: Smooth Streaming expresses durations in 100-nanosecond ticks.
+TICKS_PER_SECOND = 10_000_000
+
+
+class MSSWriter(ManifestWriter):
+    """Renders a SmoothStreamingMedia manifest."""
+
+    protocol = Protocol.MSS
+    extension = ".ism"
+    segment_extension = ""  # MSS addresses fragments by start time
+
+    def manifest_url(self, video: Video, base_url: str) -> str:
+        """MSS publishes `<name>.ism/manifest`, as in Table 1's sample."""
+        ext = (
+            ".isml"
+            if video.content_type is ContentType.LIVE
+            else self.extension
+        )
+        return f"{base_url.rstrip('/')}/{video.video_id}{ext}/manifest"
+
+    def render(
+        self, video: Video, ladder: BitrateLadder, base_url: str
+    ) -> str:
+        duration_ticks = int(video.duration_seconds * TICKS_PER_SECOND)
+        chunk_ticks = int(self.chunk_duration_seconds * TICKS_PER_SECOND)
+        n = chunk_count(video.duration_seconds, self.chunk_duration_seconds)
+        root = ET.Element(
+            "SmoothStreamingMedia",
+            {
+                "MajorVersion": "2",
+                "MinorVersion": "2",
+                "Duration": str(duration_ticks),
+                "TimeScale": str(TICKS_PER_SECOND),
+            },
+        )
+        video_index = ET.SubElement(
+            root,
+            "StreamIndex",
+            {
+                "Type": "video",
+                "Chunks": str(n),
+                "QualityLevels": str(len(ladder)),
+                "Url": (
+                    "QualityLevels({bitrate})/Fragments(video={start time})"
+                ),
+                "Name": video.video_id,
+            },
+        )
+        for idx, rendition in enumerate(ladder):
+            ET.SubElement(
+                video_index,
+                "QualityLevel",
+                {
+                    "Index": str(idx),
+                    "Bitrate": str(int(rendition.bitrate_kbps * 1000)),
+                    "MaxWidth": str(rendition.width),
+                    "MaxHeight": str(rendition.height),
+                    "FourCC": "H264",
+                },
+            )
+        for i in range(n):
+            ET.SubElement(
+                video_index,
+                "c",
+                {"n": str(i), "d": str(chunk_ticks)},
+            )
+        audio_index = ET.SubElement(
+            root,
+            "StreamIndex",
+            {
+                "Type": "audio",
+                "QualityLevels": "1",
+                "Url": (
+                    "QualityLevels({bitrate})/Fragments(audio={start time})"
+                ),
+                "Name": "audio",
+            },
+        )
+        ET.SubElement(
+            audio_index,
+            "QualityLevel",
+            {
+                "Index": "0",
+                "Bitrate": str(int(ladder[0].audio_bitrate_kbps * 1000)),
+                "FourCC": "AACL",
+            },
+        )
+        header = '<?xml version="1.0" encoding="UTF-8"?>\n'
+        return header + ET.tostring(root, encoding="unicode") + "\n"
+
+
+class MSSParser(ManifestParser):
+    """Parses SmoothStreamingMedia manifests."""
+
+    protocol = Protocol.MSS
+
+    def parse(self, text: str) -> ManifestInfo:
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ManifestParseError(f"ISM is not well-formed XML: {exc}")
+        if root.tag != "SmoothStreamingMedia":
+            raise ManifestParseError(
+                f"root element is {root.tag!r}, not SmoothStreamingMedia"
+            )
+        timescale = float(root.get("TimeScale", str(TICKS_PER_SECOND)))
+        bitrates: List[float] = []
+        audio_bitrates: List[float] = []
+        chunk_duration = 0.0
+        video_id = "unknown"
+        chunk_urls: List[str] = []
+        for index in root.findall("StreamIndex"):
+            stream_type = index.get("Type", "video")
+            levels = index.findall("QualityLevel")
+            for level in levels:
+                bitrate = level.get("Bitrate")
+                if bitrate is None:
+                    raise ManifestParseError("QualityLevel missing Bitrate")
+                kbps = float(bitrate) / 1000.0
+                if stream_type == "audio":
+                    audio_bitrates.append(kbps)
+                else:
+                    bitrates.append(kbps)
+            if stream_type == "video":
+                video_id = index.get("Name", video_id)
+                fragments = index.findall("c")
+                if fragments:
+                    first = fragments[0].get("d")
+                    if first is None:
+                        raise ManifestParseError("fragment missing duration")
+                    chunk_duration = float(first) / timescale
+                url_template = index.get("Url", "")
+                for level in levels:
+                    for i, fragment in enumerate(fragments):
+                        start = int(i * chunk_duration * timescale)
+                        chunk_urls.append(
+                            url_template.replace(
+                                "{bitrate}", level.get("Bitrate", "0")
+                            ).replace("{start time}", str(start))
+                        )
+        if not bitrates:
+            raise ManifestParseError("ISM advertises no video renditions")
+        if chunk_duration <= 0:
+            raise ManifestParseError("ISM carries no fragment timing")
+        return ManifestInfo(
+            protocol=Protocol.MSS,
+            video_id=video_id,
+            bitrates_kbps=tuple(sorted(bitrates)),
+            audio_bitrates_kbps=tuple(audio_bitrates),
+            chunk_duration_seconds=chunk_duration,
+            chunk_urls=tuple(chunk_urls),
+        )

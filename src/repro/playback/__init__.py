@@ -1,0 +1,31 @@
+"""Device playback substrate: ABR algorithms and session simulation.
+
+The control plane adaptively picks a bitrate per chunk (§2); playback
+software embeds that logic per device SDK.  The session simulator here
+produces the two QoE metrics the paper uses (§6): average bitrate of a
+view and rebuffering ratio.
+"""
+
+from repro.playback.abr import (
+    AbrAlgorithm,
+    ThroughputAbr,
+    BufferBasedAbr,
+)
+from repro.playback.session import SessionConfig, SessionResult, simulate_session
+from repro.playback.useragent import (
+    build_user_agent,
+    parse_user_agent,
+    UserAgentInfo,
+)
+
+__all__ = [
+    "AbrAlgorithm",
+    "ThroughputAbr",
+    "BufferBasedAbr",
+    "SessionConfig",
+    "SessionResult",
+    "simulate_session",
+    "build_user_agent",
+    "parse_user_agent",
+    "UserAgentInfo",
+]

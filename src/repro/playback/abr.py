@@ -1,0 +1,81 @@
+"""Adaptive bitrate (ABR) selection algorithms.
+
+Two classic families the paper cites: throughput-based prediction
+(pick the highest rung under a conservative throughput estimate) and
+buffer-based control in the style of BBA [65] (map buffer occupancy to
+a rung through a linear reservoir/cushion function).  The Fig 15/16
+reproduction shows the owner-vs-syndicator QoE gap persists across both
+— it is a *ladder* effect, not an ABR effect (see the ablation bench).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.entities.ladder import BitrateLadder, Rendition
+from repro.errors import PlaybackError
+
+
+@dataclass
+class AbrState:
+    """Observable player state handed to the ABR each decision."""
+
+    buffer_seconds: float
+    last_throughput_kbps: float
+    ewma_throughput_kbps: float
+
+
+class AbrAlgorithm(abc.ABC):
+    """Chooses the next chunk's rendition."""
+
+    @abc.abstractmethod
+    def choose(self, ladder: BitrateLadder, state: AbrState) -> Rendition:
+        """Return the rendition to fetch next."""
+
+
+class ThroughputAbr(AbrAlgorithm):
+    """Rate-based ABR: highest rung under a discounted throughput estimate.
+
+    ``safety`` discounts the EWMA estimate (0.8 means 'use at most 80%
+    of estimated throughput'), the classic guard against overshoot.
+    """
+
+    def __init__(self, safety: float = 0.8) -> None:
+        if not 0.0 < safety <= 1.0:
+            raise PlaybackError("safety factor must be in (0, 1]")
+        self.safety = safety
+
+    def choose(self, ladder: BitrateLadder, state: AbrState) -> Rendition:
+        budget = self.safety * state.ewma_throughput_kbps
+        return ladder.nearest_at_most(budget)
+
+
+class BufferBasedAbr(AbrAlgorithm):
+    """Buffer-based ABR in the style of BBA [65].
+
+    Below ``reservoir_seconds`` of buffer, pick the lowest rung; above
+    ``reservoir + cushion`` pick the highest; in between, map buffer
+    occupancy linearly onto the ladder's bitrate range.
+    """
+
+    def __init__(
+        self, reservoir_seconds: float = 8.0, cushion_seconds: float = 16.0
+    ) -> None:
+        if reservoir_seconds < 0 or cushion_seconds <= 0:
+            raise PlaybackError("bad reservoir/cushion configuration")
+        self.reservoir_seconds = reservoir_seconds
+        self.cushion_seconds = cushion_seconds
+
+    def choose(self, ladder: BitrateLadder, state: AbrState) -> Rendition:
+        buffer = state.buffer_seconds
+        if buffer <= self.reservoir_seconds:
+            return ladder[0]
+        if buffer >= self.reservoir_seconds + self.cushion_seconds:
+            return ladder[len(ladder) - 1]
+        fraction = (buffer - self.reservoir_seconds) / self.cushion_seconds
+        target = (
+            ladder.min_bitrate_kbps
+            + fraction * (ladder.max_bitrate_kbps - ladder.min_bitrate_kbps)
+        )
+        return ladder.nearest_at_most(target)

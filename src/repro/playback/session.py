@@ -1,0 +1,147 @@
+"""Chunk-level playback session simulation.
+
+Simulates one view: the player repeatedly asks the ABR for a rendition,
+downloads the chunk at the sampled network throughput, and plays from a
+buffer; when the buffer empties mid-download the viewer rebuffers.
+Outputs are the two QoE metrics of §6: time-weighted average bitrate
+and rebuffering ratio (fraction of the view spent rebuffering).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.delivery.network import NetworkPath
+from repro.entities.ladder import BitrateLadder
+from repro.errors import PlaybackError
+from repro.playback.abr import AbrAlgorithm, AbrState, ThroughputAbr
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Parameters of one simulated view."""
+
+    view_seconds: float
+    chunk_seconds: float = 6.0
+    max_buffer_seconds: float = 30.0
+    startup_chunks: int = 2
+    ewma_alpha: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.view_seconds <= 0:
+            raise PlaybackError("view duration must be positive")
+        if self.chunk_seconds <= 0:
+            raise PlaybackError("chunk duration must be positive")
+        if self.max_buffer_seconds < self.chunk_seconds:
+            raise PlaybackError("buffer must hold at least one chunk")
+        if self.startup_chunks < 1:
+            raise PlaybackError("need at least one startup chunk")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise PlaybackError("ewma alpha must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """QoE outcome of one simulated view."""
+
+    average_bitrate_kbps: float
+    rebuffer_ratio: float
+    rebuffer_seconds: float
+    startup_delay_seconds: float
+    played_seconds: float
+    chunk_count: int
+    switches: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rebuffer_ratio <= 1.0:
+            raise PlaybackError(
+                f"rebuffer ratio out of range: {self.rebuffer_ratio}"
+            )
+
+
+def simulate_session(
+    ladder: BitrateLadder,
+    path: NetworkPath,
+    config: SessionConfig,
+    rng: np.random.Generator,
+    abr: Optional[AbrAlgorithm] = None,
+    session_mean_kbps: Optional[float] = None,
+) -> SessionResult:
+    """Simulate one view of ``view_seconds`` against a network path.
+
+    ``session_mean_kbps`` pins the session's mean throughput (useful for
+    paired owner/syndicator comparisons on identical network draws);
+    when omitted it is sampled from the path's lognormal.
+    """
+    abr = abr or ThroughputAbr()
+    n_chunks = int(math.ceil(config.view_seconds / config.chunk_seconds))
+    mean_kbps = (
+        session_mean_kbps
+        if session_mean_kbps is not None
+        else path.sample_session_mean(rng)
+    )
+    throughputs = path.sample_chunk_throughputs(mean_kbps, n_chunks, rng)
+
+    buffer_seconds = 0.0
+    rebuffer_seconds = 0.0
+    startup_delay = 0.0
+    played_weighted_kbps = 0.0
+    switches = 0
+    last_bitrate: Optional[float] = None
+    ewma = throughputs[0]
+    started = False
+
+    for i in range(n_chunks):
+        state = AbrState(
+            buffer_seconds=buffer_seconds,
+            last_throughput_kbps=float(throughputs[max(i - 1, 0)]),
+            ewma_throughput_kbps=float(ewma),
+        )
+        rendition = abr.choose(ladder, state)
+        if last_bitrate is not None and rendition.bitrate_kbps != last_bitrate:
+            switches += 1
+        last_bitrate = rendition.bitrate_kbps
+
+        chunk_play_seconds = min(
+            config.chunk_seconds,
+            config.view_seconds - i * config.chunk_seconds,
+        )
+        download_seconds = (
+            rendition.bitrate_kbps * config.chunk_seconds / throughputs[i]
+        )
+        if not started:
+            startup_delay += download_seconds
+            buffer_seconds += config.chunk_seconds
+            if i + 1 >= config.startup_chunks:
+                started = True
+        else:
+            if download_seconds > buffer_seconds:
+                rebuffer_seconds += download_seconds - buffer_seconds
+                buffer_seconds = 0.0
+            else:
+                buffer_seconds -= download_seconds
+            buffer_seconds = min(
+                buffer_seconds + config.chunk_seconds,
+                config.max_buffer_seconds,
+            )
+        played_weighted_kbps += rendition.bitrate_kbps * chunk_play_seconds
+        ewma = (
+            config.ewma_alpha * throughputs[i]
+            + (1 - config.ewma_alpha) * ewma
+        )
+
+    played_seconds = config.view_seconds
+    total = played_seconds + rebuffer_seconds
+    return SessionResult(
+        average_bitrate_kbps=played_weighted_kbps / played_seconds,
+        rebuffer_ratio=rebuffer_seconds / total,
+        rebuffer_seconds=rebuffer_seconds,
+        startup_delay_seconds=startup_delay,
+        played_seconds=played_seconds,
+        chunk_count=n_chunks,
+        switches=switches,
+    )

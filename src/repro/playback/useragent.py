@@ -1,0 +1,93 @@
+"""HTTP user-agent strings for browser views.
+
+§3: the dataset carries an HTTP user-agent for browser views (app views
+carry an SDK and version instead).  The generator mints realistic UA
+strings and the analysis side parses them back to a browser family —
+so browser classification in the pipeline is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+_UA_TEMPLATES = {
+    "chrome": (
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+        "(KHTML, like Gecko) Chrome/{version}.0.0.0 Safari/537.36"
+    ),
+    "firefox": (
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:{version}.0) "
+        "Gecko/20100101 Firefox/{version}.0"
+    ),
+    "safari": (
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) "
+        "AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{version}.0 "
+        "Safari/605.1.15"
+    ),
+    "edge": (
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+        "(KHTML, like Gecko) Chrome/{version}.0.0.0 Safari/537.36 "
+        "Edg/{version}.0.0.0"
+    ),
+    "ie11": (
+        "Mozilla/5.0 (Windows NT 10.0; WOW64; Trident/7.0; rv:11.0) "
+        "like Gecko"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class UserAgentInfo:
+    """Parsed browser identity."""
+
+    browser: str
+    major_version: Optional[int]
+
+    def __str__(self) -> str:
+        if self.major_version is None:
+            return self.browser
+        return f"{self.browser}/{self.major_version}"
+
+
+def build_user_agent(browser: str, major_version: int = 60) -> str:
+    """Mint a UA string for a browser family."""
+    template = _UA_TEMPLATES.get(browser)
+    if template is None:
+        raise ValueError(f"unknown browser family {browser!r}")
+    return template.format(version=major_version)
+
+
+_EDGE_RE = re.compile(r"Edg(?:e|A|iOS)?/(\d+)")
+_CHROME_RE = re.compile(r"Chrome/(\d+)")
+_FIREFOX_RE = re.compile(r"Firefox/(\d+)")
+_SAFARI_VERSION_RE = re.compile(r"Version/(\d+)[.\d]* Safari/")
+_TRIDENT_RE = re.compile(r"Trident/\d+.*rv:(\d+)")
+
+
+def parse_user_agent(ua: str) -> UserAgentInfo:
+    """Classify a UA string into a browser family.
+
+    Order matters: Edge embeds a Chrome token, Chrome embeds a Safari
+    token, so detection runs most-specific first.  Unknown strings map
+    to family 'other'.
+    """
+    if not ua:
+        return UserAgentInfo(browser="other", major_version=None)
+    match = _EDGE_RE.search(ua)
+    if match:
+        return UserAgentInfo("edge", int(match.group(1)))
+    match = _TRIDENT_RE.search(ua)
+    if match:
+        return UserAgentInfo("ie11", int(match.group(1)))
+    match = _CHROME_RE.search(ua)
+    if match:
+        return UserAgentInfo("chrome", int(match.group(1)))
+    match = _FIREFOX_RE.search(ua)
+    if match:
+        return UserAgentInfo("firefox", int(match.group(1)))
+    match = _SAFARI_VERSION_RE.search(ua)
+    if match:
+        return UserAgentInfo("safari", int(match.group(1)))
+    return UserAgentInfo(browser="other", major_version=None)

@@ -1,0 +1,166 @@
+"""Log-log ordinary least squares with significance testing.
+
+Fig 13 fits a line through log-complexity vs log-view-hours scatter
+plots and reports the per-decade growth factor (e.g. "when view-hours
+increase by a factor of 10, management-plane combinations increase by a
+factor of 1.72x") along with a p-value at the 0.05 significance level.
+The fit here is plain OLS on base-10 logarithms; the p-value is the
+two-sided t-test on the slope, computed from the t survival function
+(via the regularized incomplete beta function, so no scipy dependency
+is required at runtime).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """Result of an OLS fit of ``log10(y) = intercept + slope*log10(x)``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    p_value: float
+    n: int
+
+    @property
+    def per_decade_factor(self) -> float:
+        """Multiplicative growth in y per 10x growth in x.
+
+        This is the number the paper quotes: 1.72x for combinations,
+        3.8x for protocol-titles, 1.8x for unique SDKs.
+        """
+        return 10.0**self.slope
+
+    @property
+    def is_sublinear(self) -> bool:
+        """True when y grows slower than proportionally with x (§5)."""
+        return self.slope < 1.0
+
+    def predict(self, x: float) -> float:
+        """Predicted y at x (both in linear space)."""
+        if x <= 0:
+            raise ValueError("x must be positive for a log-log model")
+        return 10.0 ** (self.intercept + self.slope * math.log10(x))
+
+
+def _betainc_regularized(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b).
+
+    Continued-fraction evaluation (Numerical Recipes §6.4), accurate to
+    ~1e-12 for the t-distribution arguments used here.
+    """
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_beta = (
+        math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+        + a * math.log(x) + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_beta)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cf(a, b, x) / a
+    return 1.0 - front * _beta_cf(b, a, 1.0 - x) / b
+
+
+def _beta_cf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta function."""
+    max_iter = 300
+    eps = 1e-14
+    tiny = 1e-300
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h
+
+
+def t_sf(t: float, df: float) -> float:
+    """Survival function P[T > t] of Student's t with ``df`` degrees."""
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    x = df / (df + t * t)
+    p = 0.5 * _betainc_regularized(df / 2.0, 0.5, x)
+    if t < 0:
+        return 1.0 - p
+    return p
+
+
+def fit_loglog(xs: Iterable[float], ys: Iterable[float]) -> LogLogFit:
+    """Fit ``log10(y) ~ log10(x)`` by OLS and test slope != 0.
+
+    Raises ``ValueError`` for fewer than three points or non-positive
+    inputs (logs are undefined there; the paper's metrics are all >= 1).
+    """
+    x_arr = np.asarray(list(xs), dtype=float)
+    y_arr = np.asarray(list(ys), dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have equal length")
+    if x_arr.size < 3:
+        raise ValueError("need at least three points for a regression")
+    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+        raise ValueError("log-log fit requires strictly positive data")
+    lx = np.log10(x_arr)
+    ly = np.log10(y_arr)
+    n = lx.size
+    mx = lx.mean()
+    my = ly.mean()
+    sxx = float(np.sum((lx - mx) ** 2))
+    if sxx == 0.0:
+        raise ValueError("x values are all identical; slope is undefined")
+    sxy = float(np.sum((lx - mx) * (ly - my)))
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    resid = ly - (intercept + slope * lx)
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((ly - my) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    df = n - 2
+    if ss_res <= 0.0:
+        p_value = 0.0
+    else:
+        se_slope = math.sqrt(ss_res / df / sxx)
+        t_stat = slope / se_slope
+        p_value = 2.0 * t_sf(abs(t_stat), df)
+    return LogLogFit(
+        slope=slope,
+        intercept=intercept,
+        r_squared=r_squared,
+        p_value=p_value,
+        n=n,
+    )

@@ -1,0 +1,172 @@
+"""Top-level ecosystem generator.
+
+``EcosystemGenerator(config).generate()`` produces an
+:class:`EcosystemResult`: the telemetry dataset (the Conviva-data
+substitute) plus the ground-truth side information the §5/§6 analyses
+legitimately had access to in the paper (catalogue sizes per publisher,
+the syndication case-study definition, which publishers drive DASH).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import Protocol
+from repro.entities.device import DeviceRegistry, default_registry
+from repro.entities.publisher import Publisher, PublisherProfile
+from repro.errors import CalibrationError
+from repro.synthesis import calibration as cal
+from repro.synthesis.population import generate_publishers
+from repro.synthesis.portfolios import PortfolioAssigner
+from repro.synthesis.sessions import SessionSampler
+from repro.synthesis.syndication import (
+    CaseStudy,
+    assign_case_study,
+    build_syndication_graph,
+    invert_graph,
+)
+from repro.telemetry.dataset import Dataset
+from repro.telemetry.records import ViewRecord
+from repro.telemetry.snapshots import SnapshotSchedule, default_schedule
+
+
+@dataclass
+class EcosystemResult:
+    """One synthetic dataset build plus its ground truth."""
+
+    dataset: Dataset
+    publishers: Tuple[Publisher, ...]
+    schedule: SnapshotSchedule
+    snapshots: Tuple[date, ...]
+    dash_driver_ids: FrozenSet[str]
+    top3_ids: FrozenSet[str]
+    syndication_graph: Mapping[str, FrozenSet[str]]
+    catalogue_sizes: Mapping[str, int]
+    case_study: Optional[CaseStudy]
+    config: cal.EcosystemConfig
+
+    def publisher(self, publisher_id: str) -> Publisher:
+        for candidate in self.publishers:
+            if candidate.publisher_id == publisher_id:
+                return candidate
+        raise KeyError(f"unknown publisher {publisher_id!r}")
+
+
+class EcosystemGenerator:
+    """Builds a deterministic synthetic video ecosystem."""
+
+    def __init__(
+        self, config: Optional[cal.EcosystemConfig] = None
+    ) -> None:
+        self.config = config or cal.DEFAULT_CONFIG
+        cal.validate_calibration()
+
+    def generate(self) -> EcosystemResult:
+        """Generate the dataset and ground truth for this config."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        registry = default_registry()
+        publishers = generate_publishers(rng, config.n_publishers)
+        assigner = PortfolioAssigner(rng, publishers, registry)
+
+        ranked = sorted(
+            publishers, key=lambda p: p.daily_view_hours, reverse=True
+        )
+        top3_ids = frozenset(p.publisher_id for p in ranked[:3])
+        dash_drivers = frozenset(
+            p.publisher_id for p in ranked[: config.dash_driver_count]
+        )
+        for publisher_id in dash_drivers:
+            # The drivers adopted DASH early and, per Fig 3b's right-most
+            # bar, the biggest publishers consolidated onto two protocols
+            # (HLS + DASH) by the latest snapshot.
+            assigner.force_protocol(publisher_id, Protocol.DASH, 0.05)
+            assigner.force_protocol(publisher_id, Protocol.MSS, 0.99)
+            assigner.force_protocol(publisher_id, Protocol.HDS, 0.99)
+
+        graph = build_syndication_graph(rng, publishers)
+        case_study: Optional[CaseStudy] = None
+        if config.include_case_study:
+            case_study = assign_case_study(rng, publishers, graph)
+            # Every participant stores the catalogue on the common CDNs
+            # (Fig 18), so their QoE views on A/B are self-consistent.
+            for label in ("O",) + case_study.syndicator_labels:
+                assigner.ensure_cdns(
+                    case_study.publisher_id(label),
+                    cal.STORAGE_STUDY_COMMON_CDNS,
+                )
+        syndicator_owners = invert_graph(graph)
+
+        sampler = SessionSampler(
+            rng=rng,
+            publishers=publishers,
+            assigner=assigner,
+            registry=registry,
+            dash_driver_ids=dash_drivers,
+            top3_ids=top3_ids,
+            syndicator_owners=syndicator_owners,
+            case_study=case_study,
+        )
+
+        schedule = default_schedule()
+        snapshots = self._select_snapshots(schedule)
+        records: List[ViewRecord] = []
+        last_index = len(snapshots) - 1
+        for index, snapshot in enumerate(snapshots):
+            t = index / last_index if last_index > 0 else 1.0
+            records.extend(
+                sampler.snapshot_records(
+                    snapshot, t, scale=config.records_scale
+                )
+            )
+        if case_study is not None:
+            records.extend(
+                sampler.case_study_records(
+                    snapshots[-1], config.qoe_sessions
+                )
+            )
+
+        return EcosystemResult(
+            dataset=Dataset(records),
+            publishers=tuple(publishers),
+            schedule=schedule,
+            snapshots=tuple(snapshots),
+            dash_driver_ids=dash_drivers,
+            top3_ids=top3_ids,
+            syndication_graph=graph,
+            catalogue_sizes={
+                p.publisher_id: p.catalogue_size for p in publishers
+            },
+            case_study=case_study,
+            config=config,
+        )
+
+    def _select_snapshots(
+        self, schedule: SnapshotSchedule
+    ) -> Tuple[date, ...]:
+        """Full bi-weekly schedule, or an evenly spaced subset.
+
+        ``snapshot_limit`` thins the schedule for fast test builds; the
+        first and last snapshots are always kept because the trend
+        analyses anchor on them.
+        """
+        dates = schedule.dates()
+        limit = self.config.snapshot_limit
+        if limit == 0 or limit >= len(dates):
+            return tuple(dates)
+        if limit < 2:
+            raise CalibrationError("snapshot_limit must be 0 or >= 2")
+        positions = np.linspace(0, len(dates) - 1, limit)
+        return tuple(dates[int(round(p))] for p in positions)
+
+
+def generate_default_dataset(
+    seed: int = 2018, snapshot_limit: int = 0
+) -> EcosystemResult:
+    """Convenience wrapper used by examples, tests and benches."""
+    config = cal.EcosystemConfig(seed=seed, snapshot_limit=snapshot_limit)
+    return EcosystemGenerator(config).generate()

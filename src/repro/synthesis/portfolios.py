@@ -1,0 +1,437 @@
+"""Per-publisher management-plane portfolios.
+
+Assigns each publisher its protocols (time-varying via adoption
+thresholds), platforms, CDN footprint (an ordered list whose active
+prefix grows over the study, matching Fig 12c's rising averages while
+Fig 11a's per-CDN publisher shares stay roughly steady), SDK version
+matrix, and device models — everything a :class:`PublisherProfile`
+carries.
+
+Adoption thresholds are assigned by *rank*: for each technology the
+publishers are ordered by an affinity score (plus noise) and receive
+evenly spaced thresholds, so the population-level support fraction at
+time ``t`` equals the calibration curve exactly, while *who* adopts is
+shaped by the affinity.  Platform affinity grows with publisher size
+(Fig 9b); protocol affinity peaks at mid-size publishers — the paper's
+Fig 3b shows the very largest publishers consolidated onto two
+protocols while mid-size publishers juggle up to four.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import (
+    ContentType,
+    Platform,
+    Protocol,
+    TOP_CDN_NAMES,
+)
+from repro.entities.cdn import CDN, CdnAssignment
+from repro.entities.device import SDK, DeviceRegistry
+from repro.entities.publisher import Publisher, PublisherProfile
+from repro.errors import CalibrationError
+from repro.synthesis import calibration as cal
+from repro.synthesis.population import size_decade, size_rank_percentile
+from repro.synthesis.trends import supports
+
+#: Long-tail regional CDN names (36 total CDNs in the dataset, §4.3).
+REGIONAL_CDN_NAMES = tuple(f"R{i:02d}" for i in range(6, 37))
+
+#: SDK version pools per SDK name; publishers keep a contiguous window
+#: of these alive (users upgrade slowly, §2).
+_SDK_VERSION_POOL = [
+    f"{major}.{minor}" for major in range(2, 12) for minor in range(0, 8)
+]
+
+#: Blend between affinity ordering and pure noise in threshold ranks.
+_PROTOCOL_RHO = 0.35
+_PLATFORM_RHO = 0.60
+
+
+def _rank_thresholds(
+    rng: np.random.Generator, affinities: np.ndarray, rho: float
+) -> np.ndarray:
+    """Evenly spaced adoption thresholds ordered by noisy affinity.
+
+    Returns one threshold per publisher in [0, 1); higher affinity
+    means a lower threshold (earlier adoption).  Because the thresholds
+    form a uniform grid, the fraction of publishers under the adoption
+    curve's level equals the level itself.
+    """
+    n = affinities.size
+    noise = rng.uniform(size=n)
+    scores = rho * (1.0 - affinities) + (1 - rho) * noise
+    ranks = np.argsort(np.argsort(scores, kind="stable"), kind="stable")
+    return (ranks + 0.5) / n
+
+
+def _protocol_affinity(size_pct: float) -> float:
+    """Protocol breadth peaks at large-but-not-largest publishers.
+
+    Fig 3b: the right-most size bucket consolidated onto two protocols
+    while the buckets just below juggle up to four.
+    """
+    return max(0.0, 1.0 - abs(size_pct - 0.78) / 0.55)
+
+
+class PortfolioAssigner:
+    """Draws and serves per-publisher portfolios."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        publishers: Sequence[Publisher],
+        registry: DeviceRegistry,
+    ) -> None:
+        if not publishers:
+            raise CalibrationError("no publishers to assign portfolios to")
+        ids = [p.publisher_id for p in publishers]
+        if len(set(ids)) != len(ids):
+            raise CalibrationError("duplicate publisher IDs")
+        self._registry = registry
+        self._publishers: Dict[str, Publisher] = {
+            p.publisher_id: p for p in publishers
+        }
+        self._order: List[str] = ids
+        size_pcts = np.array(
+            [
+                size_rank_percentile(p.daily_view_hours)
+                for p in publishers
+            ]
+        )
+
+        self._protocol_thresholds: Dict[str, Dict[Protocol, float]] = {
+            pid: {} for pid in ids
+        }
+        protocol_affinity = np.array(
+            [_protocol_affinity(s) for s in size_pcts]
+        )
+        for protocol in cal.PROTOCOL_ADOPTION:
+            if protocol is Protocol.RTMP:
+                # RTMP's remaining users were large live broadcasters.
+                affinity = size_pcts
+            else:
+                affinity = protocol_affinity
+            thresholds = _rank_thresholds(rng, affinity, _PROTOCOL_RHO)
+            for pid, threshold in zip(ids, thresholds):
+                self._protocol_thresholds[pid][protocol] = float(threshold)
+
+        self._platform_thresholds: Dict[str, Dict[Platform, float]] = {
+            pid: {} for pid in ids
+        }
+        for platform in cal.PLATFORM_ADOPTION:
+            thresholds = _rank_thresholds(rng, size_pcts, _PLATFORM_RHO)
+            for pid, threshold in zip(ids, thresholds):
+                self._platform_thresholds[pid][platform] = float(threshold)
+
+        self._cdn_assignments: Dict[str, Tuple[CdnAssignment, ...]] = {}
+        self._cdn_start_counts: Dict[str, int] = {}
+        self._sdks: Dict[str, FrozenSet[SDK]] = {}
+        self._device_models: Dict[str, FrozenSet[str]] = {}
+        for publisher in publishers:
+            pid = publisher.publisher_id
+            assignments, start_count = self._draw_cdns(rng, publisher)
+            self._cdn_assignments[pid] = assignments
+            self._cdn_start_counts[pid] = start_count
+            self._device_models[pid] = self._draw_devices(
+                rng, publisher, self._platforms_ever(pid)
+            )
+            self._sdks[pid] = self._draw_sdks(rng, publisher, pid)
+
+    def force_protocol(
+        self, publisher_id: str, protocol: Protocol, threshold: float
+    ) -> None:
+        """Pin a publisher's adoption threshold for one protocol.
+
+        The generator uses this for the large DASH drivers (Fig 2b/2c)
+        and to make the top bucket consolidate onto two protocols
+        (Fig 3b's right-most bar).
+        """
+        if publisher_id not in self._protocol_thresholds:
+            raise CalibrationError(f"unknown publisher {publisher_id}")
+        if not 0.0 <= threshold <= 1.0:
+            raise CalibrationError("threshold must be in [0, 1]")
+        self._protocol_thresholds[publisher_id][protocol] = threshold
+
+    def ensure_cdns(self, publisher_id: str, cdn_names: Sequence[str]) -> None:
+        """Guarantee a publisher's portfolio includes the named CDNs.
+
+        Used for the §6 case-study participants, who all store the
+        popular catalogue on the common CDNs A and B; regional/private
+        CDNs are displaced first so the 5-CDN ceiling holds.
+        """
+        if publisher_id not in self._cdn_assignments:
+            raise CalibrationError(f"unknown publisher {publisher_id}")
+        assignments = list(self._cdn_assignments[publisher_id])
+        present = {a.cdn.name for a in assignments}
+        for name in cdn_names:
+            if name in present:
+                continue
+            new_assignment = CdnAssignment(
+                cdn=CDN(name=name, uses_anycast=(name == "B"))
+            )
+            if len(assignments) < 5:
+                assignments.append(new_assignment)
+            else:
+                replaceable = [
+                    i
+                    for i, a in enumerate(assignments)
+                    if a.cdn.name not in TOP_CDN_NAMES
+                ] or [len(assignments) - 1]
+                assignments[replaceable[0]] = new_assignment
+            present.add(name)
+        self._cdn_assignments[publisher_id] = tuple(assignments)
+        # Case-study participants stored the catalogue on the common
+        # CDNs for the whole study: the full footprint is active from
+        # the first snapshot.
+        self._cdn_start_counts[publisher_id] = len(assignments)
+
+    # ------------------------------------------------------------------
+    # Time-varying support sets
+    # ------------------------------------------------------------------
+
+    def protocols_at(self, publisher_id: str, t: float) -> FrozenSet[Protocol]:
+        """Protocols supported at study progress t (HTTP + RTMP)."""
+        thresholds = self._protocol_thresholds[publisher_id]
+        publisher = self._publishers[publisher_id]
+        chosen = {
+            protocol
+            for protocol, curve in cal.PROTOCOL_ADOPTION.items()
+            if supports(curve, thresholds[protocol], t)
+        }
+        if Protocol.RTMP in chosen and not publisher.serves_live:
+            chosen.discard(Protocol.RTMP)
+        if not any(p.is_http_adaptive for p in chosen):
+            chosen.add(Protocol.HLS)
+        return frozenset(chosen)
+
+    def platforms_at(self, publisher_id: str, t: float) -> FrozenSet[Platform]:
+        thresholds = self._platform_thresholds[publisher_id]
+        chosen = {
+            platform
+            for platform, curve in cal.PLATFORM_ADOPTION.items()
+            if supports(curve, thresholds[platform], t)
+        }
+        if not chosen:
+            chosen.add(Platform.BROWSER)
+        return frozenset(chosen)
+
+    def profile_at(self, publisher_id: str, t: float) -> PublisherProfile:
+        """Full management-plane profile at study progress t."""
+        publisher = self._publishers[publisher_id]
+        platforms = self.platforms_at(publisher_id, t)
+        protocols = self.protocols_at(publisher_id, t)
+        models = frozenset(
+            model
+            for model in self._device_models[publisher_id]
+            if self._registry.platform_of(model) in platforms
+        )
+        sdk_names_active = {
+            self._registry.lookup(model).sdk_name
+            for model in models
+            if self._registry.lookup(model).sdk_name
+        }
+        sdks = frozenset(
+            sdk
+            for sdk in self._sdks[publisher_id]
+            if sdk.name in sdk_names_active
+        )
+        return PublisherProfile(
+            publisher=publisher,
+            protocols=protocols,
+            platforms=platforms,
+            cdn_assignments=self._cdns_at(publisher_id, t),
+            sdks=sdks,
+            device_models=models,
+        )
+
+    def _cdns_at(self, publisher_id: str, t: float) -> Tuple[CdnAssignment, ...]:
+        """Active CDN prefix at study progress t.
+
+        Publishers add CDNs over the study — Fig 12c's weighted average
+        grows from ~2 toward 4.5 — so the assignment list is orderly:
+        the first entry (usually CDN A, always serving both content
+        types) is active from day one and later entries activate as the
+        publisher grows its delivery footprint.
+        """
+        assignments = self._cdn_assignments[publisher_id]
+        start = self._cdn_start_counts[publisher_id]
+        count = int(round(start + (len(assignments) - start) * t))
+        count = min(max(count, 1), len(assignments))
+        return assignments[:count]
+
+    def _platforms_ever(self, publisher_id: str) -> FrozenSet[Platform]:
+        """Platforms supported at any point (union over the study)."""
+        return self.platforms_at(publisher_id, 0.0) | self.platforms_at(
+            publisher_id, 1.0
+        )
+
+    # ------------------------------------------------------------------
+    # Static draws
+    # ------------------------------------------------------------------
+
+    def _draw_cdns(
+        self, rng: np.random.Generator, publisher: Publisher
+    ) -> Tuple[CdnAssignment, ...]:
+        decade = size_decade(publisher.daily_view_hours)
+        expected = cal.CDN_COUNT_BY_DECADE[decade]
+        count = int(round(expected + float(rng.normal(0.0, 0.45))))
+        if decade == 0:
+            count = 1
+        elif decade >= len(cal.CDN_COUNT_BY_DECADE) - 1:
+            count = max(count, 4)
+        count = min(max(count, 1), 5)
+
+        names = self._sample_cdn_names(rng, count, publisher)
+        # Activate popular CDNs first: the early prefix is then A/C/B,
+        # keeping Fig 11a's per-CDN publisher shares roughly steady
+        # while the footprint grows.
+        rank = {name: i for i, name in enumerate(TOP_CDN_NAMES)}
+        names.sort(key=lambda name: rank.get(name, len(rank)))
+        assignments = [
+            CdnAssignment(cdn=CDN(name=name, uses_anycast=(name == "B")))
+            for name in names
+        ]
+        assignments = self._apply_content_split(rng, publisher, assignments)
+        # Multi-CDN publishers grew into their footprint over the study
+        # (Fig 12c): the largest publishers started ~1-3 CDNs lighter,
+        # small publishers were static (so Fig 11a stays steady).
+        growth = min(max(decade - 3, 0), 3)
+        start_count = max(len(assignments) - growth, 1)
+        return tuple(assignments), start_count
+
+    @staticmethod
+    def _sample_cdn_names(
+        rng: np.random.Generator, count: int, publisher: Publisher
+    ) -> List[str]:
+        pool = list(TOP_CDN_NAMES)
+        weights = [cal.CDN_POPULARITY[name] for name in pool]
+        names: List[str] = []
+        for _ in range(count):
+            # With a small probability, one slot goes to the long tail of
+            # regional/private CDNs (31 of the 36 CDNs in the dataset).
+            if rng.uniform() < 0.17 or not pool:
+                if rng.uniform() < 0.2:
+                    names.append(f"P_{publisher.publisher_id}")  # private CDN
+                else:
+                    names.append(
+                        REGIONAL_CDN_NAMES[
+                            int(rng.integers(len(REGIONAL_CDN_NAMES)))
+                        ]
+                    )
+                continue
+            probs = np.asarray(weights) / sum(weights)
+            idx = int(rng.choice(len(pool), p=probs))
+            names.append(pool.pop(idx))
+            weights.pop(idx)
+        # De-duplicate while preserving order (tail draws can repeat).
+        unique: List[str] = []
+        for name in names:
+            if name not in unique:
+                unique.append(name)
+        return unique
+
+    @staticmethod
+    def _apply_content_split(
+        rng: np.random.Generator,
+        publisher: Publisher,
+        assignments: List[CdnAssignment],
+    ) -> List[CdnAssignment]:
+        """Mark some CDNs live-only/VoD-only (§4.3: 30% / 19%)."""
+        both_types = publisher.serves_live and publisher.serves_vod
+        if not both_types or len(assignments) < 2:
+            return assignments
+        result = list(assignments)
+        # Index 0 always serves both types so that any time-sliced
+        # prefix of the assignment list covers the publisher's content.
+        vod_marked = False
+        if rng.uniform() < cal.VOD_ONLY_CDN_PROB:
+            result[1] = CdnAssignment(
+                cdn=result[1].cdn,
+                content_types=frozenset({ContentType.VOD}),
+            )
+            vod_marked = True
+        can_mark_live = len(result) >= 3 or not vod_marked
+        if can_mark_live and rng.uniform() < cal.LIVE_ONLY_CDN_PROB:
+            result[-1] = CdnAssignment(
+                cdn=result[-1].cdn,
+                content_types=frozenset({ContentType.LIVE}),
+            )
+        return result
+
+    def _draw_devices(
+        self,
+        rng: np.random.Generator,
+        publisher: Publisher,
+        platforms: FrozenSet[Platform],
+    ) -> FrozenSet[str]:
+        decade = size_decade(publisher.daily_view_hours)
+        per_family = cal.DEVICES_PER_CELL_BY_DECADE[decade]
+        # Small publishers keep a minimal player fleet: mainstream
+        # browser players and device families only.  Niche families are
+        # a large-publisher luxury; without this, every publisher's
+        # maintenance surface has the same floor and the Fig 13c slope
+        # flattens out.
+        niche_families = {
+            "silverlight",
+            "other_plugin",
+            "other_settop",
+            "other_tv",
+            "other_console",
+            "other_mobile",
+            "chromecast",
+        }
+        models: List[str] = []
+        for platform in sorted(platforms, key=lambda p: p.value):
+            for family in self._registry.families(platform):
+                if decade < 3 and family in niche_families:
+                    continue
+                family_models = [
+                    model
+                    for model in self._registry.models(platform)
+                    if self._registry.lookup(model).family == family
+                ]
+                take = min(per_family, len(family_models))
+                picked = rng.choice(
+                    len(family_models), size=take, replace=False
+                )
+                models.extend(family_models[int(i)] for i in picked)
+        return frozenset(models)
+
+    def _draw_sdks(
+        self,
+        rng: np.random.Generator,
+        publisher: Publisher,
+        publisher_id: str,
+    ) -> FrozenSet[SDK]:
+        """Allocate SDK versions: total sub-linear in view-hours."""
+        total = cal.SDK_BASE * (
+            publisher.daily_view_hours / cal.VIEW_HOUR_BASE_X
+        ) ** cal.SDK_EXP
+        total = max(
+            int(round(total * float(np.exp(rng.normal(0.0, 0.25))))), 1
+        )
+        sdk_names = sorted(
+            {
+                self._registry.lookup(model).sdk_name
+                for model in self._device_models[publisher_id]
+                if self._registry.lookup(model).sdk_name
+            }
+        )
+        if not sdk_names:
+            return frozenset()
+        sdks: List[SDK] = []
+        base, remainder = divmod(total, len(sdk_names))
+        for i, name in enumerate(sdk_names):
+            versions = base + (1 if i < remainder else 0)
+            versions = min(max(versions, 1), len(_SDK_VERSION_POOL))
+            start_max = len(_SDK_VERSION_POOL) - versions
+            start = int(rng.integers(0, start_max + 1))
+            for offset in range(versions):
+                sdks.append(
+                    SDK(name=name, version=_SDK_VERSION_POOL[start + offset])
+                )
+        return frozenset(sdks)

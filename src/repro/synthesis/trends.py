@@ -1,0 +1,102 @@
+"""Time-varying adoption and share curves.
+
+The generator expresses every longitudinal trend in the paper (DASH
+adoption rising, HDS falling, Flash giving way to HTML5, set-top boxes
+growing, CDN share shifts) as a curve over study progress ``t`` in
+[0, 1] (0 = January 2016, 1 = March 2018).
+
+Two shapes cover everything observed: a logistic S-curve for adoption
+(technology uptake/decline) and a linear drift for slow share shifts.
+Adoption of a technology by a *population* is tied to per-entity
+thresholds: entity ``e`` with threshold ``u_e ~ U(0,1)`` supports the
+technology at time ``t`` iff ``u_e < level(t)``.  Because ``level`` is
+monotone for these curves, each entity adopts (or abandons) at most
+once — publishers do not flip-flop support, matching how management
+planes actually change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CalibrationError
+
+
+def _check_unit_interval(t: float) -> None:
+    if not 0.0 <= t <= 1.0:
+        raise CalibrationError(f"study progress must be in [0, 1], got {t}")
+
+
+@dataclass(frozen=True)
+class AdoptionCurve:
+    """Logistic interpolation between a start and an end level.
+
+    ``level(0) = start``, ``level(1) = end`` (exactly, via rescaling of
+    the logistic), with the steepest change around ``midpoint``.
+    A declining technology simply has ``end < start``.
+    """
+
+    start: float
+    end: float
+    midpoint: float = 0.5
+    steepness: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("start", self.start), ("end", self.end)):
+            if not 0.0 <= value <= 1.0:
+                raise CalibrationError(f"{name} level must be in [0,1]")
+        if not 0.0 < self.midpoint < 1.0:
+            raise CalibrationError("midpoint must be in (0, 1)")
+        if self.steepness <= 0:
+            raise CalibrationError("steepness must be positive")
+
+    def level(self, t: float) -> float:
+        """Adoption level at study progress t in [0, 1]."""
+        _check_unit_interval(t)
+        raw_0 = self._raw(0.0)
+        raw_1 = self._raw(1.0)
+        if raw_1 == raw_0:
+            return self.start
+        fraction = (self._raw(t) - raw_0) / (raw_1 - raw_0)
+        return self.start + (self.end - self.start) * fraction
+
+    def _raw(self, t: float) -> float:
+        return 1.0 / (1.0 + math.exp(-self.steepness * (t - self.midpoint)))
+
+    @property
+    def is_rising(self) -> bool:
+        return self.end > self.start
+
+
+@dataclass(frozen=True)
+class LinearDrift:
+    """Linear interpolation between a start and an end value.
+
+    Used for share *weights* (not probabilities), so values may exceed
+    one; they only need to be non-negative.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < 0:
+            raise CalibrationError("drift values must be non-negative")
+
+    def level(self, t: float) -> float:
+        _check_unit_interval(t)
+        return self.start + (self.end - self.start) * t
+
+
+def supports(curve: AdoptionCurve, threshold: float, t: float) -> bool:
+    """Threshold-adoption rule: entity supports the tech iff its
+    threshold is under the population level at time t.
+
+    With ``threshold ~ U(0,1)`` the population support fraction at time
+    ``t`` is exactly ``curve.level(t)``; biasing thresholds (e.g. by
+    publisher size) biases *who* adopts without changing the aggregate.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise CalibrationError("threshold must be in [0, 1]")
+    return threshold < curve.level(t)

@@ -1,0 +1,71 @@
+"""Anonymization of telemetry identifiers (§3).
+
+The paper's dataset anonymizes publisher IDs and video IDs while
+retaining the manifest file extension in URLs (that extension is how
+protocols are inferred).  The anonymizer here is deterministic and
+keyed, so the same raw ID always maps to the same token within one
+dataset build but tokens cannot be trivially reversed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict
+
+_TOKEN_RE = re.compile(r"^[a-z]+_[0-9a-f]{10}$")
+
+
+class Anonymizer:
+    """Deterministic keyed pseudonymization of identifiers."""
+
+    def __init__(self, key: str = "repro-anon") -> None:
+        if not key:
+            raise ValueError("anonymizer key must be non-empty")
+        self._key = key
+        self._cache: Dict[str, str] = {}
+
+    def token(self, kind: str, raw_id: str) -> str:
+        """Pseudonym for a raw identifier, stable within this key.
+
+        ``kind`` namespaces the token ('pub', 'vid', ...), so the same
+        raw string used as both a publisher and a video ID yields
+        distinct tokens.
+        """
+        if not kind.isalpha() or not kind.islower():
+            raise ValueError(f"kind must be lowercase letters, got {kind!r}")
+        if not raw_id:
+            raise ValueError("raw identifier must be non-empty")
+        cache_key = f"{kind}:{raw_id}"
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(
+            f"{self._key}:{cache_key}".encode()
+        ).hexdigest()[:10]
+        token = f"{kind}_{digest}"
+        self._cache[cache_key] = token
+        return token
+
+    def publisher(self, raw_id: str) -> str:
+        return self.token("pub", raw_id)
+
+    def video(self, raw_id: str) -> str:
+        return self.token("vid", raw_id)
+
+    def anonymize_url(self, url: str, raw_video_id: str) -> str:
+        """Replace the raw video ID within a URL, keeping the extension.
+
+        This is the §3 property the protocol detector depends on: the
+        manifest extension survives anonymization.
+        """
+        if raw_video_id not in url:
+            raise ValueError(
+                f"URL does not contain the raw video ID {raw_video_id!r}"
+            )
+        return url.replace(raw_video_id, self.video(raw_video_id))
+
+
+def looks_anonymized(identifier: str) -> bool:
+    """Heuristic check that an identifier is one of our tokens."""
+    return bool(_TOKEN_RE.match(identifier))

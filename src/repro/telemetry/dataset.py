@@ -1,0 +1,254 @@
+"""The Dataset container: a queryable collection of view records.
+
+The analyses slice the dataset the way §3 describes: by snapshot, by
+publisher, by any record attribute — and aggregate by view-hours, by
+views, or by distinct video IDs.  Persistence is line-delimited JSON
+(gzipped when the path ends in ``.gz``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from collections import defaultdict
+from datetime import date
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.errors import DatasetError
+from repro.telemetry.records import ViewRecord
+
+
+class Dataset:
+    """An immutable collection of weighted view records."""
+
+    def __init__(self, records: Iterable[ViewRecord]) -> None:
+        self._records: Tuple[ViewRecord, ...] = tuple(records)
+        self._by_snapshot: Optional[Dict[date, Tuple[ViewRecord, ...]]] = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ViewRecord]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({len(self._records)} records, "
+            f"{len(self.snapshots())} snapshots, "
+            f"{len(self.publishers())} publishers)"
+        )
+
+    @property
+    def records(self) -> Tuple[ViewRecord, ...]:
+        return self._records
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+
+    def snapshots(self) -> List[date]:
+        """Sorted distinct snapshot dates."""
+        return sorted(self._snapshot_index())
+
+    def latest_snapshot(self) -> date:
+        snapshots = self.snapshots()
+        if not snapshots:
+            raise DatasetError("dataset is empty")
+        return snapshots[-1]
+
+    def first_snapshot(self) -> date:
+        snapshots = self.snapshots()
+        if not snapshots:
+            raise DatasetError("dataset is empty")
+        return snapshots[0]
+
+    def for_snapshot(self, snapshot: date) -> "Dataset":
+        """Sub-dataset of one snapshot."""
+        index = self._snapshot_index()
+        if snapshot not in index:
+            raise DatasetError(f"no records for snapshot {snapshot}")
+        return Dataset(index[snapshot])
+
+    def latest(self) -> "Dataset":
+        return self.for_snapshot(self.latest_snapshot())
+
+    def filter(self, predicate: Callable[[ViewRecord], bool]) -> "Dataset":
+        return Dataset(r for r in self._records if predicate(r))
+
+    def exclude_publishers(self, publisher_ids: Iterable[str]) -> "Dataset":
+        """Drop named publishers — the Figs 2c/6b 'remove the top N' cut."""
+        excluded = set(publisher_ids)
+        return self.filter(lambda r: r.publisher_id not in excluded)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def publishers(self) -> Set[str]:
+        return {r.publisher_id for r in self._records}
+
+    def total_view_hours(self) -> float:
+        return sum(r.view_hours for r in self._records)
+
+    def total_views(self) -> float:
+        return sum(r.views for r in self._records)
+
+    def view_hours_by(
+        self, key: Callable[[ViewRecord], object]
+    ) -> Dict[object, float]:
+        """Sum view-hours grouped by an arbitrary record key."""
+        totals: Dict[object, float] = defaultdict(float)
+        for record in self._records:
+            totals[key(record)] += record.view_hours
+        return dict(totals)
+
+    def views_by(
+        self, key: Callable[[ViewRecord], object]
+    ) -> Dict[object, float]:
+        """Sum views grouped by an arbitrary record key."""
+        totals: Dict[object, float] = defaultdict(float)
+        for record in self._records:
+            totals[key(record)] += record.views
+        return dict(totals)
+
+    def publisher_view_hours(self) -> Dict[str, float]:
+        """View-hours per publisher — the paper's size proxy."""
+        return {
+            str(k): v
+            for k, v in self.view_hours_by(lambda r: r.publisher_id).items()
+        }
+
+    def top_publishers(self, n: int) -> List[str]:
+        """The n publishers with the most view-hours."""
+        if n < 0:
+            raise DatasetError("n must be non-negative")
+        totals = self.publisher_view_hours()
+        ranked = sorted(totals, key=lambda p: totals[p], reverse=True)
+        return ranked[:n]
+
+    def distinct_video_ids(self, publisher_id: Optional[str] = None) -> int:
+        """Distinct video IDs, optionally for one publisher (§3 notes
+        this measure is an under-estimate where coverage is partial)."""
+        ids = {
+            r.video_id
+            for r in self._records
+            if publisher_id is None or r.publisher_id == publisher_id
+        }
+        return len(ids)
+
+    def explode(self) -> "Dataset":
+        """Expand weighted records into unit-weight records.
+
+        Weights must be integral.  Analyses are invariant under this
+        transformation (property-tested); it exists to validate the
+        weighted representation and for the weighting ablation bench.
+        """
+        exploded: List[ViewRecord] = []
+        for record in self._records:
+            weight = record.weight
+            if abs(weight - round(weight)) > 1e-9:
+                raise DatasetError(
+                    f"cannot explode non-integral weight {weight}"
+                )
+            for _ in range(int(round(weight))):
+                exploded.append(
+                    ViewRecord(
+                        **{
+                            **record.to_json_dict(),
+                            "snapshot": record.snapshot,
+                            "content_type": record.content_type,
+                            "connection": record.connection,
+                            "cdn_names": record.cdn_names,
+                            "bitrate_ladder_kbps": record.bitrate_ladder_kbps,
+                            "weight": 1.0,
+                        }
+                    )
+                )
+        return Dataset(exploded)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the dataset as JSONL (.gz for gzip compression)."""
+        path = Path(path)
+        opener = gzip.open if path.suffix == ".gz" else io.open
+        with opener(path, "wt", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(record.to_json())
+                handle.write("\n")
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Export the dataset as CSV for external tooling.
+
+        Multi-valued fields (CDNs, ladder) are pipe-joined; enums are
+        written as their wire values.  CSV is an export format only —
+        round-tripping uses :meth:`save`/:meth:`load`.
+        """
+        import csv
+
+        fieldnames = [
+            "snapshot", "publisher_id", "url", "device_model", "os_name",
+            "cdn_names", "bitrate_ladder_kbps", "view_duration_hours",
+            "avg_bitrate_kbps", "rebuffer_ratio", "content_type",
+            "video_id", "weight", "user_agent", "sdk_name", "sdk_version",
+            "is_syndicated", "owner_id", "isp", "geo", "connection",
+        ]
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for record in self._records:
+                row = record.to_json_dict()
+                row["cdn_names"] = "|".join(record.cdn_names)
+                row["bitrate_ladder_kbps"] = "|".join(
+                    f"{b:g}" for b in record.bitrate_ladder_kbps
+                )
+                writer.writerow(row)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Dataset":
+        """Load a dataset previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"dataset file not found: {path}")
+        opener = gzip.open if path.suffix == ".gz" else io.open
+        records: List[ViewRecord] = []
+        with opener(path, "rt", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(ViewRecord.from_json(line))
+                except DatasetError as exc:
+                    raise DatasetError(
+                        f"{path}:{line_number}: {exc}"
+                    ) from exc
+        return cls(records)
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+
+    def _snapshot_index(self) -> Dict[date, Tuple[ViewRecord, ...]]:
+        if self._by_snapshot is None:
+            index: Dict[date, List[ViewRecord]] = defaultdict(list)
+            for record in self._records:
+                index[record.snapshot].append(record)
+            self._by_snapshot = {
+                key: tuple(value) for key, value in index.items()
+            }
+        return self._by_snapshot

@@ -1,0 +1,209 @@
+"""Dataset quality assurance.
+
+A measurement platform lives or dies by the integrity of its feed; §3
+of the paper describes exactly which fields each view must carry and
+how protocols are inferred from URLs.  This module audits a dataset the
+way the platform's ingestion QA would: field-level validation beyond
+the per-record invariants, cross-record coverage (does every publisher
+appear in every snapshot? are URLs classifiable? are devices known?),
+and a one-stop :func:`audit` report that analyses can gate on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.dimensions import record_protocol
+from repro.entities.device import DeviceRegistry, default_registry
+from repro.errors import DatasetError
+from repro.telemetry.dataset import Dataset
+
+
+@dataclass
+class QualityIssue:
+    """One class of problem found during the audit."""
+
+    code: str
+    count: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] x{self.count}: {self.detail}"
+
+
+@dataclass
+class QualityReport:
+    """Outcome of a dataset audit."""
+
+    records: int
+    publishers: int
+    snapshots: int
+    classifiable_url_fraction: float
+    known_device_fraction: float
+    app_views_with_sdk_fraction: float
+    browser_views_with_ua_fraction: float
+    publisher_snapshot_coverage: float
+    issues: List[QualityIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no blocking issues were found."""
+        return not any(issue.code.startswith("E") for issue in self.issues)
+
+    def summary(self) -> str:
+        lines = [
+            f"records={self.records} publishers={self.publishers} "
+            f"snapshots={self.snapshots}",
+            f"classifiable URLs: {self.classifiable_url_fraction:.1%}",
+            f"known devices:     {self.known_device_fraction:.1%}",
+            f"app views w/ SDK:  {self.app_views_with_sdk_fraction:.1%}",
+            f"browser views w/ UA: {self.browser_views_with_ua_fraction:.1%}",
+            f"publisher-snapshot coverage: "
+            f"{self.publisher_snapshot_coverage:.1%}",
+        ]
+        lines.extend(str(issue) for issue in self.issues)
+        lines.append("status: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def audit(
+    dataset: Dataset,
+    registry: Optional[DeviceRegistry] = None,
+    min_classifiable: float = 0.95,
+    min_known_devices: float = 0.95,
+) -> QualityReport:
+    """Audit a dataset against the §3 schema expectations.
+
+    Issue codes starting with ``E`` are blocking (the analyses would be
+    silently wrong); ``W`` codes are advisory.
+    """
+    if len(dataset) == 0:
+        raise DatasetError("cannot audit an empty dataset")
+    registry = registry or default_registry()
+
+    unclassifiable = 0
+    unknown_devices: Dict[str, int] = defaultdict(int)
+    app_missing_sdk = 0
+    app_views = 0
+    browser_views = 0
+    browser_missing_ua = 0
+    syndication_dangling = 0
+    publisher_snapshots: Dict[str, Set] = defaultdict(set)
+    publisher_ids = dataset.publishers()
+
+    for record in dataset:
+        publisher_snapshots[record.publisher_id].add(record.snapshot)
+        if record_protocol(record) is None:
+            unclassifiable += 1
+        known = record.device_model in registry
+        if not known:
+            unknown_devices[record.device_model] += 1
+        if known and registry.lookup(record.device_model).platform.is_app_based:
+            app_views += 1
+            if not record.sdk_name:
+                app_missing_sdk += 1
+        elif known:
+            browser_views += 1
+            if not record.user_agent:
+                browser_missing_ua += 1
+        if record.is_syndicated:
+            if record.owner_id is None:
+                syndication_dangling += 1
+            elif record.owner_id not in publisher_ids:
+                syndication_dangling += 1
+
+    issues: List[QualityIssue] = []
+    total = len(dataset)
+    classifiable = 1.0 - unclassifiable / total
+    if classifiable < min_classifiable:
+        issues.append(
+            QualityIssue(
+                "E-URL",
+                unclassifiable,
+                f"only {classifiable:.1%} of URLs classify to a protocol",
+            )
+        )
+    elif unclassifiable:
+        issues.append(
+            QualityIssue(
+                "W-URL", unclassifiable, "some URLs did not classify"
+            )
+        )
+
+    unknown_total = sum(unknown_devices.values())
+    known_fraction = 1.0 - unknown_total / total
+    if known_fraction < min_known_devices:
+        worst = sorted(
+            unknown_devices, key=lambda m: unknown_devices[m], reverse=True
+        )[:3]
+        issues.append(
+            QualityIssue(
+                "E-DEVICE",
+                unknown_total,
+                f"unknown device models, e.g. {worst}",
+            )
+        )
+    elif unknown_total:
+        issues.append(
+            QualityIssue(
+                "W-DEVICE", unknown_total, "some device models unknown"
+            )
+        )
+
+    if app_missing_sdk:
+        issues.append(
+            QualityIssue(
+                "E-SDK",
+                app_missing_sdk,
+                "app views missing SDK identification",
+            )
+        )
+    if browser_missing_ua:
+        issues.append(
+            QualityIssue(
+                "W-UA",
+                browser_missing_ua,
+                "browser views missing a user agent",
+            )
+        )
+    if syndication_dangling:
+        issues.append(
+            QualityIssue(
+                "E-SYND",
+                syndication_dangling,
+                "syndicated views without a resolvable owner",
+            )
+        )
+
+    snapshots = dataset.snapshots()
+    coverage_cells = len(publisher_ids) * len(snapshots)
+    covered = sum(len(s) for s in publisher_snapshots.values())
+    coverage = covered / coverage_cells if coverage_cells else 0.0
+    if coverage < 0.9:
+        issues.append(
+            QualityIssue(
+                "W-COVERAGE",
+                coverage_cells - covered,
+                "publishers missing from many snapshots",
+            )
+        )
+
+    return QualityReport(
+        records=total,
+        publishers=len(publisher_ids),
+        snapshots=len(snapshots),
+        classifiable_url_fraction=classifiable,
+        known_device_fraction=known_fraction,
+        app_views_with_sdk_fraction=(
+            1.0 - app_missing_sdk / app_views if app_views else 1.0
+        ),
+        browser_views_with_ua_fraction=(
+            1.0 - browser_missing_ua / browser_views
+            if browser_views
+            else 1.0
+        ),
+        publisher_snapshot_coverage=coverage,
+        issues=issues,
+    )

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+The ecosystem fixture is session-scoped: generating even a thinned
+(6-snapshot) dataset takes a few seconds, and the analyses under test
+are read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import ContentType
+from repro.entities.ladder import BitrateLadder
+from repro.entities.video import Catalogue, Video
+from repro.synthesis.generator import generate_default_dataset
+
+
+@pytest.fixture(scope="session")
+def eco():
+    """A small but fully featured synthetic ecosystem build."""
+    return generate_default_dataset(seed=2018, snapshot_limit=6)
+
+
+@pytest.fixture(scope="session")
+def dataset(eco):
+    return eco.dataset
+
+
+@pytest.fixture(scope="session")
+def latest(dataset):
+    return dataset.latest()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def ladder():
+    """A 5-rung h264 ladder following the HLS guidelines."""
+    return BitrateLadder.from_bitrates((150, 300, 600, 1200, 2400))
+
+
+@pytest.fixture
+def video():
+    return Video(
+        video_id="vid_test_00001",
+        duration_seconds=600.0,
+        content_type=ContentType.VOD,
+    )
+
+
+@pytest.fixture
+def catalogue(video):
+    extra = Video(video_id="vid_test_00002", duration_seconds=1200.0)
+    return Catalogue("test", [video, extra])

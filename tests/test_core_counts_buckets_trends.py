@@ -1,0 +1,144 @@
+"""Per-publisher counts, buckets, and longitudinal trends (repro.core)."""
+
+from datetime import date
+
+import pytest
+
+from repro.core.buckets import bucket_table, bucketed_counts
+from repro.core.counts import (
+    count_distribution,
+    publisher_counts,
+    share_with_count_above,
+)
+from repro.core.dimensions import CdnDimension, ProtocolDimension
+from repro.core.trends import count_trend, trend_growth
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import Dataset
+from tests.test_telemetry_records import make_record
+
+
+def _counting_dataset():
+    d = date(2018, 3, 12)
+    return Dataset(
+        [
+            # p1: HLS only, tiny.
+            make_record(snapshot=d, publisher_id="p1", weight=1),
+            # p2: HLS + DASH, large.
+            make_record(snapshot=d, publisher_id="p2", weight=50),
+            make_record(
+                snapshot=d,
+                publisher_id="p2",
+                url="http://x/v.mpd",
+                weight=50,
+            ),
+        ]
+    )
+
+
+class TestPublisherCounts:
+    def test_distinct_values_counted(self):
+        counts = publisher_counts(_counting_dataset(), ProtocolDimension())
+        assert counts == {"p1": 1, "p2": 2}
+
+    def test_repeated_value_counted_once(self):
+        d = date(2018, 3, 12)
+        data = Dataset(
+            [
+                make_record(snapshot=d, publisher_id="p1"),
+                make_record(snapshot=d, publisher_id="p1"),
+            ]
+        )
+        assert publisher_counts(data, ProtocolDimension()) == {"p1": 1}
+
+    def test_cdn_counts_union_multi_cdn_views(self):
+        d = date(2018, 3, 12)
+        data = Dataset(
+            [
+                make_record(snapshot=d, publisher_id="p1", cdn_names=("A", "B")),
+                make_record(snapshot=d, publisher_id="p1", cdn_names=("C",)),
+            ]
+        )
+        assert publisher_counts(data, CdnDimension()) == {"p1": 3}
+
+    def test_out_of_scope_dataset_rejected(self):
+        d = date(2018, 3, 12)
+        data = Dataset(
+            [make_record(snapshot=d, url="http://x/watch/1")]
+        )
+        with pytest.raises(AnalysisError):
+            publisher_counts(data, ProtocolDimension())
+
+
+class TestCountDistribution:
+    def test_rows(self):
+        rows = count_distribution(_counting_dataset(), ProtocolDimension())
+        by_count = {r.count: r for r in rows}
+        assert by_count[1].percent_publishers == 50.0
+        assert by_count[1].percent_view_hours < 5.0
+        assert by_count[2].percent_view_hours > 95.0
+
+    def test_percentages_sum(self, latest):
+        rows = count_distribution(latest, ProtocolDimension())
+        assert sum(r.percent_publishers for r in rows) == pytest.approx(100)
+        assert sum(r.percent_view_hours for r in rows) == pytest.approx(100)
+
+    def test_share_above_threshold(self):
+        rows = count_distribution(_counting_dataset(), ProtocolDimension())
+        multi = share_with_count_above(rows, 1)
+        assert multi["percent_publishers"] == 50.0
+        assert multi["percent_view_hours"] > 95.0
+
+    def test_share_above_requires_rows(self):
+        with pytest.raises(AnalysisError):
+            share_with_count_above([], 1)
+
+
+class TestBuckets:
+    def test_bucketing_normalizes_to_daily(self, latest, eco):
+        buckets = bucketed_counts(latest, ProtocolDimension())
+        assert sum(buckets.publisher_counts()) == len(
+            publisher_counts(latest, ProtocolDimension())
+        )
+
+    def test_bucket_table_rows(self, latest):
+        rows = bucket_table(bucketed_counts(latest, ProtocolDimension()))
+        assert len(rows) == 7
+        assert all("count_histogram" in row for row in rows)
+
+    def test_modal_bucket_is_100x_1000x(self, latest):
+        # §4.1: the tallest bar is the 100X-1000X bucket.
+        buckets = bucketed_counts(latest, ProtocolDimension())
+        shares = buckets.publisher_share()
+        assert shares.index(max(shares)) == 3
+
+    def test_window_validation(self, latest):
+        with pytest.raises(AnalysisError):
+            bucketed_counts(latest, ProtocolDimension(), window_days=0)
+
+
+class TestTrends:
+    def test_weighted_average_above_plain(self, dataset):
+        # Figs 3c/9c/12c: larger publishers support more instances.
+        points = count_trend(dataset, CdnDimension())
+        for point in points:
+            assert point.weighted_average > point.average
+
+    def test_one_point_per_snapshot(self, dataset):
+        points = count_trend(dataset, ProtocolDimension())
+        assert len(points) == len(dataset.snapshots())
+
+    def test_growth_computation(self, dataset):
+        from repro.core.dimensions import PlatformDimension
+
+        growth = trend_growth(count_trend(dataset, PlatformDimension()))
+        # §4.2: platform counts grew over the study for both curves.
+        assert growth["average_growth_pct"] > 10
+        assert growth["weighted_growth_pct"] > 5
+
+    def test_growth_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            trend_growth([])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AnalysisError):
+            count_trend(Dataset([]), ProtocolDimension())

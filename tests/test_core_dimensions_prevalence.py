@@ -1,0 +1,188 @@
+"""Dimensions and prevalence series (repro.core)."""
+
+from datetime import date
+
+import pytest
+
+from repro.constants import Platform, Protocol
+from repro.core.dimensions import (
+    CdnDimension,
+    FamilyDimension,
+    PlatformDimension,
+    ProtocolDimension,
+    record_protocol,
+)
+from repro.core.prevalence import (
+    first_last,
+    publisher_support_series,
+    series_rows,
+    share_at,
+    top_values,
+    view_hour_share_series,
+)
+from repro.errors import AnalysisError
+from repro.telemetry.dataset import Dataset
+from tests.test_telemetry_records import make_record
+
+
+class TestProtocolDimension:
+    def test_detects_from_url(self):
+        record = make_record(url="http://x/v/master.mpd")
+        assert ProtocolDimension().values(record) == (Protocol.DASH,)
+
+    def test_http_only_excludes_rtmp(self):
+        record = make_record(url="rtmp://x/live/v")
+        assert ProtocolDimension(http_only=True).values(record) == ()
+        assert ProtocolDimension(http_only=False).values(record) == (
+            Protocol.RTMP,
+        )
+
+    def test_unknown_url_out_of_scope(self):
+        record = make_record(url="http://x/watch/123")
+        assert ProtocolDimension().values(record) == ()
+
+    def test_record_protocol_helper(self):
+        assert record_protocol(make_record()) is Protocol.HLS
+
+
+class TestPlatformDimension:
+    def test_classifies_device(self):
+        assert PlatformDimension().values(make_record()) == (
+            Platform.SET_TOP,
+        )
+
+    def test_unknown_device_out_of_scope(self):
+        record = make_record(device_model="fridge")
+        assert PlatformDimension().values(record) == ()
+
+
+class TestFamilyDimension:
+    def test_same_platform_classified(self):
+        dim = FamilyDimension(Platform.SET_TOP)
+        assert dim.values(make_record()) == ("roku",)
+
+    def test_other_platform_out_of_scope(self):
+        dim = FamilyDimension(Platform.MOBILE)
+        assert dim.values(make_record()) == ()
+
+
+class TestCdnDimension:
+    def test_multi_valued(self):
+        record = make_record(cdn_names=("A", "B"))
+        assert CdnDimension().values(record) == ("A", "B")
+
+    def test_weighted_values_split_evenly(self):
+        record = make_record(cdn_names=("A", "B"))
+        weighted = CdnDimension().weighted_values(record)
+        assert weighted == (("A", 0.5), ("B", 0.5))
+
+    def test_single_cdn_full_weight(self):
+        weighted = CdnDimension().weighted_values(make_record())
+        assert weighted == (("A", 1.0),)
+
+
+def _two_snapshot_dataset():
+    d1, d2 = date(2016, 1, 4), date(2018, 3, 12)
+    return Dataset(
+        [
+            make_record(snapshot=d1, publisher_id="p1", weight=10),
+            make_record(
+                snapshot=d1,
+                publisher_id="p2",
+                url="http://x/v.mpd",
+                weight=30,
+            ),
+            make_record(snapshot=d2, publisher_id="p1", weight=10),
+            make_record(snapshot=d2, publisher_id="p2", weight=10),
+        ]
+    )
+
+
+class TestSupportSeries:
+    def test_publisher_percentages(self):
+        series = publisher_support_series(
+            _two_snapshot_dataset(), ProtocolDimension()
+        )
+        first = series[date(2016, 1, 4)]
+        assert first[Protocol.HLS] == 50.0
+        assert first[Protocol.DASH] == 50.0
+        latest = series[date(2018, 3, 12)]
+        assert latest[Protocol.HLS] == 100.0
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AnalysisError):
+            publisher_support_series(Dataset([]), ProtocolDimension())
+
+
+class TestShareSeries:
+    def test_shares_sum_to_100(self, dataset):
+        series = view_hour_share_series(dataset, PlatformDimension())
+        for shares in series.values():
+            assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_share_values(self):
+        series = view_hour_share_series(
+            _two_snapshot_dataset(), ProtocolDimension()
+        )
+        first = series[date(2016, 1, 4)]
+        assert first[Protocol.HLS] == pytest.approx(25.0)
+        assert first[Protocol.DASH] == pytest.approx(75.0)
+
+    def test_exclusion(self):
+        series = view_hour_share_series(
+            _two_snapshot_dataset(),
+            ProtocolDimension(),
+            exclude_publishers=["p2"],
+        )
+        assert series[date(2016, 1, 4)][Protocol.HLS] == pytest.approx(100.0)
+
+    def test_by_views_differs_from_view_hours(self, dataset):
+        vh = view_hour_share_series(dataset, PlatformDimension())
+        views = view_hour_share_series(
+            dataset, PlatformDimension(), by_views=True
+        )
+        latest = dataset.latest_snapshot()
+        # Set-top views are long: view-hour share exceeds view share.
+        assert vh[latest][Platform.SET_TOP] > views[latest][
+            Platform.SET_TOP
+        ]
+
+    def test_excluding_everyone_rejected(self):
+        data = _two_snapshot_dataset()
+        with pytest.raises(AnalysisError):
+            view_hour_share_series(
+                data, ProtocolDimension(), exclude_publishers=["p1", "p2"]
+            )
+
+
+class TestSeriesHelpers:
+    def test_share_at_and_first_last(self):
+        series = view_hour_share_series(
+            _two_snapshot_dataset(), ProtocolDimension()
+        )
+        assert share_at(series, date(2016, 1, 4), Protocol.DASH) == 75.0
+        first, last = first_last(series, Protocol.DASH)
+        assert first == 75.0
+        assert last == 0.0  # both latest-snapshot records are HLS
+
+    def test_share_at_missing_snapshot(self):
+        series = view_hour_share_series(
+            _two_snapshot_dataset(), ProtocolDimension()
+        )
+        with pytest.raises(AnalysisError):
+            share_at(series, date(2017, 6, 1), Protocol.HLS)
+
+    def test_top_values(self):
+        series = view_hour_share_series(
+            _two_snapshot_dataset(), ProtocolDimension()
+        )
+        assert top_values(series, date(2016, 1, 4), n=1) == [Protocol.DASH]
+
+    def test_series_rows_printable(self):
+        series = view_hour_share_series(
+            _two_snapshot_dataset(), ProtocolDimension()
+        )
+        rows = series_rows(series, [Protocol.HLS, Protocol.DASH])
+        assert len(rows) == 2
+        assert rows[0]["snapshot"] == "2016-01-04"
+        assert rows[0]["HLS"] == 25.0

@@ -1,0 +1,259 @@
+"""Edge caches, multi-CDN policies, broker, anycast (repro.delivery)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ContentType
+from repro.delivery.anycast import AnycastRouteModel
+from repro.delivery.edge import EdgeCache
+from repro.delivery.multicdn import (
+    CdnBroker,
+    ContentTypeSplitPolicy,
+    RoundRobinPolicy,
+    WeightedPolicy,
+)
+from repro.entities.cdn import CDN, CdnAssignment
+from repro.errors import DeliveryError
+
+
+def _assignments(*names, vod_only=(), live_only=()):
+    result = []
+    for name in names:
+        if name in vod_only:
+            types = frozenset({ContentType.VOD})
+        elif name in live_only:
+            types = frozenset({ContentType.LIVE})
+        else:
+            types = frozenset(ContentType)
+        result.append(CdnAssignment(cdn=CDN(name=name), content_types=types))
+    return tuple(result)
+
+
+class TestEdgeCache:
+    def test_miss_then_hit(self):
+        cache = EdgeCache(capacity_bytes=100)
+        assert not cache.request("k1", 10)
+        assert cache.request("k1", 10)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = EdgeCache(capacity_bytes=20)
+        cache.request("a", 10)
+        cache.request("b", 10)
+        cache.request("a", 10)  # refresh a
+        cache.request("c", 10)  # evicts b (LRU)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_oversized_object_not_admitted(self):
+        cache = EdgeCache(capacity_bytes=5)
+        assert not cache.request("big", 10)
+        assert "big" not in cache
+        assert cache.used_bytes == 0
+
+    def test_bytes_accounting(self):
+        cache = EdgeCache(capacity_bytes=100)
+        cache.request("a", 30)
+        cache.request("a", 30)
+        assert cache.stats.bytes_served == 60
+        assert cache.stats.bytes_from_origin == 30
+
+    def test_hit_ratio(self):
+        cache = EdgeCache(capacity_bytes=100)
+        assert cache.stats.hit_ratio == 0.0
+        cache.request("a", 1)
+        cache.request("a", 1)
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_purge_keeps_stats(self):
+        cache = EdgeCache(capacity_bytes=100)
+        cache.request("a", 10)
+        cache.purge()
+        assert cache.entry_count == 0
+        assert cache.stats.misses == 1
+
+    def test_syndication_duplicates_occupy_twice(self):
+        # Same content under two publishers = two cache entries (§6).
+        cache = EdgeCache(capacity_bytes=100)
+        cache.request(("owner", "v1", 800, 0), 10)
+        cache.request(("syn", "v1", 800, 0), 10)
+        assert cache.entry_count == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(DeliveryError):
+            EdgeCache(capacity_bytes=0)
+
+    def test_negative_size_rejected(self):
+        cache = EdgeCache(capacity_bytes=10)
+        with pytest.raises(DeliveryError):
+            cache.request("a", -1)
+
+
+class TestRoundRobin:
+    def test_cycles_through_cdns(self, rng):
+        policy = RoundRobinPolicy()
+        assignments = _assignments("A", "B", "C")
+        picks = [
+            policy.select(assignments, ContentType.VOD, rng)
+            for _ in range(6)
+        ]
+        assert picks == ["A", "B", "C", "A", "B", "C"]
+
+    def test_respects_content_type(self, rng):
+        policy = RoundRobinPolicy()
+        assignments = _assignments("A", "B", live_only=("B",))
+        picks = {
+            policy.select(assignments, ContentType.VOD, rng)
+            for _ in range(4)
+        }
+        assert picks == {"A"}
+
+    def test_no_eligible_cdn_raises(self, rng):
+        assignments = _assignments("A", vod_only=("A",))
+        with pytest.raises(DeliveryError):
+            RoundRobinPolicy().select(assignments, ContentType.LIVE, rng)
+
+
+class TestWeighted:
+    def test_weights_respected_statistically(self, rng):
+        policy = WeightedPolicy({"A": 0.9, "B": 0.1})
+        assignments = _assignments("A", "B")
+        picks = [
+            policy.select(assignments, ContentType.VOD, rng)
+            for _ in range(500)
+        ]
+        share_a = picks.count("A") / len(picks)
+        assert 0.82 < share_a < 0.97
+
+    def test_zero_weight_never_chosen(self, rng):
+        policy = WeightedPolicy({"A": 1.0, "B": 0.0})
+        assignments = _assignments("A", "B")
+        picks = {
+            policy.select(assignments, ContentType.VOD, rng)
+            for _ in range(50)
+        }
+        assert picks == {"A"}
+
+    def test_validation(self):
+        with pytest.raises(DeliveryError):
+            WeightedPolicy({})
+        with pytest.raises(DeliveryError):
+            WeightedPolicy({"A": -1})
+        with pytest.raises(DeliveryError):
+            WeightedPolicy({"A": 0.0})
+
+    def test_no_positive_weight_among_eligible(self, rng):
+        policy = WeightedPolicy({"A": 1.0})
+        assignments = _assignments("B")
+        with pytest.raises(DeliveryError):
+            policy.select(assignments, ContentType.VOD, rng)
+
+
+class TestContentSplit:
+    def test_prefers_exclusive_cdn(self, rng):
+        policy = ContentTypeSplitPolicy()
+        assignments = _assignments("A", "B", "C", live_only=("C",))
+        picks = {
+            policy.select(assignments, ContentType.LIVE, rng)
+            for _ in range(20)
+        }
+        assert picks == {"C"}
+
+    def test_falls_back_to_shared(self, rng):
+        policy = ContentTypeSplitPolicy()
+        assignments = _assignments("A", "B")
+        picks = {
+            policy.select(assignments, ContentType.VOD, rng)
+            for _ in range(50)
+        }
+        assert picks == {"A", "B"}
+
+
+class TestBroker:
+    def test_probes_unmeasured_cdns_first(self, rng):
+        broker = CdnBroker(explore=0.0)
+        broker.observe("A", 5000)
+        decision = broker.select(
+            _assignments("A", "B"), ContentType.VOD, rng
+        )
+        assert decision.cdn_name == "B"  # unmeasured scores infinity
+
+    def test_picks_best_ewma(self, rng):
+        broker = CdnBroker(explore=0.0)
+        broker.observe("A", 2000)
+        broker.observe("B", 8000)
+        decision = broker.select(
+            _assignments("A", "B"), ContentType.VOD, rng
+        )
+        assert decision.cdn_name == "B"
+        assert decision.predicted_kbps == pytest.approx(8000)
+
+    def test_ewma_update(self):
+        broker = CdnBroker(alpha=0.5)
+        broker.observe("A", 1000)
+        broker.observe("A", 3000)
+        assert broker.estimate("A") == pytest.approx(2000)
+
+    def test_exploration_occasionally_deviates(self, rng):
+        broker = CdnBroker(explore=0.5)
+        broker.observe("A", 1000)
+        broker.observe("B", 9000)
+        picks = {
+            broker.select(
+                _assignments("A", "B"), ContentType.VOD, rng
+            ).cdn_name
+            for _ in range(100)
+        }
+        assert picks == {"A", "B"}
+
+    def test_validation(self):
+        with pytest.raises(DeliveryError):
+            CdnBroker(explore=1.0)
+        with pytest.raises(DeliveryError):
+            CdnBroker(alpha=0.0)
+        with pytest.raises(DeliveryError):
+            CdnBroker().observe("A", -1)
+
+
+class TestAnycast:
+    def test_disruption_probability_grows_with_duration(self):
+        model = AnycastRouteModel(daily_change_rate=1.0)
+        assert model.disruption_probability(60) < model.disruption_probability(
+            3600
+        )
+
+    def test_zero_rate_never_disrupts(self, rng):
+        model = AnycastRouteModel(daily_change_rate=0.0)
+        assert model.disruption_probability(86_400) == 0.0
+        assert model.sample_events(86_400, rng) == []
+
+    def test_event_sampling_rate(self, rng):
+        model = AnycastRouteModel(daily_change_rate=86_400.0)  # 1/s
+        events = model.sample_events(1000, rng)
+        assert 850 < len(events) < 1150  # Poisson(1000)
+
+    def test_events_within_view(self, rng):
+        model = AnycastRouteModel(daily_change_rate=86_400.0)
+        for event in model.sample_events(100, rng):
+            assert 0 <= event.at_seconds < 100
+
+    def test_expected_stall(self):
+        model = AnycastRouteModel(
+            daily_change_rate=86_400.0, reconnect_delay_seconds=2.0
+        )
+        assert model.expected_stall_seconds(10) == pytest.approx(20.0)
+
+    def test_long_video_views_rarely_disrupted_at_realistic_rates(self):
+        # §4.3: anycast instability is not blocking for video.
+        model = AnycastRouteModel(daily_change_rate=0.2)
+        one_hour = model.disruption_probability(3600)
+        assert one_hour < 0.01
+
+    def test_validation(self):
+        with pytest.raises(DeliveryError):
+            AnycastRouteModel(daily_change_rate=-1)
+        with pytest.raises(DeliveryError):
+            AnycastRouteModel().disruption_probability(-1)

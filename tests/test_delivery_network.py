@@ -1,0 +1,124 @@
+"""Network path model (repro.delivery.network)."""
+
+import numpy as np
+import pytest
+
+from repro.delivery.network import (
+    IspProfile,
+    NetworkPath,
+    default_isp_profiles,
+)
+from repro.errors import DeliveryError
+
+
+def _path(**overrides):
+    kwargs = dict(
+        isp="X", cdn_name="A", median_kbps=5000.0, sigma=0.5,
+        within_session_cv=0.25,
+    )
+    kwargs.update(overrides)
+    return NetworkPath(**kwargs)
+
+
+class TestSessionMeans:
+    def test_median_recovered(self, rng):
+        path = _path()
+        means = [path.sample_session_mean(rng) for _ in range(4000)]
+        assert np.median(means) == pytest.approx(5000, rel=0.08)
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        path = _path(sigma=0.0)
+        assert path.sample_session_mean(rng) == pytest.approx(5000)
+
+    def test_validation(self):
+        with pytest.raises(DeliveryError):
+            _path(median_kbps=0)
+        with pytest.raises(DeliveryError):
+            _path(sigma=-1)
+
+
+class TestChunkThroughputs:
+    def test_mean_preserved(self, rng):
+        path = _path()
+        chunks = path.sample_chunk_throughputs(4000, 5000, rng)
+        assert chunks.mean() == pytest.approx(4000, rel=0.05)
+
+    def test_zero_cv_constant(self, rng):
+        path = _path(within_session_cv=0.0)
+        chunks = path.sample_chunk_throughputs(4000, 10, rng)
+        assert np.allclose(chunks, 4000)
+
+    def test_chunk_count(self, rng):
+        assert _path().sample_chunk_throughputs(4000, 17, rng).shape == (17,)
+
+    def test_validation(self, rng):
+        with pytest.raises(DeliveryError):
+            _path().sample_chunk_throughputs(0, 10, rng)
+        with pytest.raises(DeliveryError):
+            _path().sample_chunk_throughputs(1000, 0, rng)
+
+
+class TestOutages:
+    def test_outages_reduce_mean(self, rng):
+        quiet = _path()
+        stormy = _path(outage_prob=0.2, outage_factor=0.1)
+        calm_chunks = quiet.sample_chunk_throughputs(4000, 2000, rng)
+        storm_chunks = stormy.sample_chunk_throughputs(4000, 2000, rng)
+        assert storm_chunks.mean() < calm_chunks.mean()
+
+    def test_outage_chunks_are_collapsed(self, rng):
+        path = _path(
+            within_session_cv=0.0, outage_prob=0.3, outage_factor=0.1
+        )
+        chunks = path.sample_chunk_throughputs(4000, 500, rng)
+        values = set(np.round(chunks, 3))
+        assert values == {400.0, 4000.0}
+
+    def test_episodes_are_bursty(self, rng):
+        path = _path(
+            within_session_cv=0.0,
+            outage_prob=0.02,
+            outage_factor=0.1,
+            outage_mean_chunks=10.0,
+        )
+        chunks = path.sample_chunk_throughputs(4000, 5000, rng)
+        congested = chunks < 1000
+        # Count runs of congestion; mean run length should be well
+        # above 1 (iid outages would give ~1).
+        runs = []
+        current = 0
+        for flag in congested:
+            if flag:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        assert runs and float(np.mean(runs)) > 3.0
+
+    def test_validation(self):
+        with pytest.raises(DeliveryError):
+            _path(outage_prob=1.0)
+        with pytest.raises(DeliveryError):
+            _path(outage_factor=0.0)
+        with pytest.raises(DeliveryError):
+            _path(outage_prob=0.1, outage_mean_chunks=0.5)
+
+
+class TestIspProfiles:
+    def test_default_profiles_cover_qoe_combos(self):
+        profiles = default_isp_profiles()
+        assert profiles["X"].path_to("A").cdn_name == "A"
+        assert profiles["Y"].path_to("B").cdn_name == "B"
+
+    def test_missing_path_raises(self):
+        profiles = default_isp_profiles()
+        with pytest.raises(DeliveryError):
+            profiles["X"].path_to("Z")
+
+    def test_paths_have_congestion_tail(self):
+        # The Fig 16 mechanism requires a non-trivial outage process.
+        for profile in default_isp_profiles().values():
+            for path in profile.paths.values():
+                assert path.outage_prob > 0

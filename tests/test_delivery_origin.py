@@ -1,0 +1,170 @@
+"""Origin storage and dedup (repro.delivery.origin) — the Fig 18 engine."""
+
+import pytest
+
+from repro.delivery.origin import OriginServer, StoredRendition
+from repro.entities.ladder import BitrateLadder
+from repro.entities.video import Catalogue, Video
+from repro.errors import DeliveryError
+
+
+@pytest.fixture
+def small_catalogue():
+    return Catalogue(
+        "cat",
+        [Video("v1", 1000.0), Video("v2", 2000.0)],
+    )
+
+
+class TestPush:
+    def test_push_returns_bytes_added(self, small_catalogue):
+        origin = OriginServer("A")
+        ladder = BitrateLadder.from_bitrates((800,))
+        added = origin.push_catalogue("pub", small_catalogue, ladder)
+        # 800 kbps = 1e5 B/s over 3000 s total.
+        assert added == pytest.approx(3e8)
+        assert origin.total_bytes() == pytest.approx(3e8)
+
+    def test_double_push_rejected(self, small_catalogue):
+        origin = OriginServer("A")
+        ladder = BitrateLadder.from_bitrates((800,))
+        origin.push_catalogue("pub", small_catalogue, ladder)
+        with pytest.raises(DeliveryError):
+            origin.push_catalogue("pub", small_catalogue, ladder)
+
+    def test_double_push_leaves_origin_unchanged(self, small_catalogue):
+        origin = OriginServer("A")
+        ladder = BitrateLadder.from_bitrates((800,))
+        origin.push_catalogue("pub", small_catalogue, ladder)
+        before = origin.total_bytes()
+        with pytest.raises(DeliveryError):
+            origin.push_catalogue("pub", small_catalogue, ladder)
+        assert origin.total_bytes() == before
+
+    def test_multiple_publishers_tracked(self, small_catalogue):
+        origin = OriginServer("A")
+        origin.push_catalogue(
+            "p1", small_catalogue, BitrateLadder.from_bitrates((500,))
+        )
+        origin.push_catalogue(
+            "p2", small_catalogue, BitrateLadder.from_bitrates((520,))
+        )
+        assert origin.publishers == {"p1", "p2"}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DeliveryError):
+            OriginServer("")
+
+
+class TestDedup:
+    def _origin_with_two_copies(self, small_catalogue, rates_a, rates_b):
+        origin = OriginServer("A")
+        origin.push_catalogue(
+            "p1", small_catalogue, BitrateLadder.from_bitrates(rates_a)
+        )
+        origin.push_catalogue(
+            "p2", small_catalogue, BitrateLadder.from_bitrates(rates_b)
+        )
+        return origin
+
+    def test_exact_duplicates_merge_at_zero_tolerance(self, small_catalogue):
+        origin = self._origin_with_two_copies(
+            small_catalogue, (800,), (800.0,)
+        )
+        total = origin.total_bytes()
+        assert origin.deduplicated_bytes(0.0) == pytest.approx(total / 2)
+
+    def test_near_duplicates_merge_within_tolerance(self, small_catalogue):
+        origin = self._origin_with_two_copies(small_catalogue, (800,), (830,))
+        saved, pct = origin.savings(0.05)
+        # min(800, 830) worth of bytes per video is removed.
+        assert pct == pytest.approx(100 * 800 / 1630, rel=1e-6)
+
+    def test_no_merge_outside_tolerance(self, small_catalogue):
+        origin = self._origin_with_two_copies(small_catalogue, (800,), (900,))
+        saved, pct = origin.savings(0.05)
+        assert saved == 0.0
+        assert pct == 0.0
+
+    def test_dedup_keeps_largest_copy(self, small_catalogue):
+        origin = self._origin_with_two_copies(small_catalogue, (800,), (830,))
+        kept = origin.deduplicated_bytes(0.05)
+        # kept bytes correspond to the 830 kbps copy.
+        total = origin.total_bytes()
+        assert kept == pytest.approx(total * 830 / 1630)
+
+    def test_tolerance_monotonicity(self, small_catalogue):
+        origin = self._origin_with_two_copies(
+            small_catalogue, (800, 1600), (860, 1750)
+        )
+        pcts = [origin.savings(t)[1] for t in (0.0, 0.05, 0.10, 0.20)]
+        assert pcts == sorted(pcts)
+
+    def test_different_videos_never_merge(self):
+        origin = OriginServer("A")
+        origin.push_catalogue(
+            "p1",
+            Catalogue("c1", [Video("v1", 1000.0)]),
+            BitrateLadder.from_bitrates((800,)),
+        )
+        origin.push_catalogue(
+            "p2",
+            Catalogue("c2", [Video("v2", 1000.0)]),
+            BitrateLadder.from_bitrates((800,)),
+        )
+        assert origin.savings(0.10)[0] == 0.0
+
+    def test_negative_tolerance_rejected(self, small_catalogue):
+        origin = self._origin_with_two_copies(small_catalogue, (800,), (830,))
+        with pytest.raises(DeliveryError):
+            origin.deduplicated_bytes(-0.1)
+
+    def test_empty_origin_savings_rejected(self):
+        with pytest.raises(DeliveryError):
+            OriginServer("A").savings(0.05)
+
+
+class TestIntegrated:
+    def test_integrated_keeps_only_owner_copies(self, small_catalogue):
+        origin = OriginServer("A")
+        owner_ladder = BitrateLadder.from_bitrates((500, 1000))
+        syn_ladder = BitrateLadder.from_bitrates((600, 1200, 2400))
+        origin.push_catalogue("owner", small_catalogue, owner_ladder)
+        origin.push_catalogue("syn", small_catalogue, syn_ladder)
+        kept = origin.integrated_bytes("owner")
+        owner_bytes = small_catalogue.storage_bytes(owner_ladder)
+        assert kept == pytest.approx(owner_bytes)
+
+    def test_integrated_savings_percentage(self, small_catalogue):
+        origin = OriginServer("A")
+        origin.push_catalogue(
+            "owner", small_catalogue, BitrateLadder.from_bitrates((1000,))
+        )
+        origin.push_catalogue(
+            "syn", small_catalogue, BitrateLadder.from_bitrates((2000,))
+        )
+        _, pct = origin.integrated_savings("owner")
+        assert pct == pytest.approx(100 * 2000 / 3000, rel=1e-6)
+
+    def test_videos_without_owner_copy_fall_back_to_dedup(self):
+        origin = OriginServer("A")
+        origin.push_catalogue(
+            "syn1",
+            Catalogue("c", [Video("v9", 1000.0)]),
+            BitrateLadder.from_bitrates((800,)),
+        )
+        origin.push_catalogue(
+            "syn2",
+            Catalogue("c2", [Video("v9", 1000.0)]),
+            BitrateLadder.from_bitrates((800.0,)),
+        )
+        kept = origin.integrated_bytes("owner-not-present")
+        assert kept == pytest.approx(origin.total_bytes() / 2)
+
+
+class TestStoredRendition:
+    def test_validation(self):
+        with pytest.raises(DeliveryError):
+            StoredRendition("p", "v", 0, 10)
+        with pytest.raises(DeliveryError):
+            StoredRendition("p", "v", 100, -1)

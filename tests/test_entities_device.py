@@ -1,0 +1,99 @@
+"""Devices, SDKs and the registry (repro.entities.device)."""
+
+import pytest
+
+from repro.constants import Platform
+from repro.entities.device import SDK, Device, DeviceRegistry, default_registry
+
+
+class TestSDK:
+    def test_identity_string(self):
+        assert str(SDK("RokuSDK", "8.1")) == "RokuSDK/8.1"
+
+    def test_equality(self):
+        assert SDK("A", "1") == SDK("A", "1")
+        assert SDK("A", "1") != SDK("A", "2")
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            SDK("", "1")
+        with pytest.raises(ValueError):
+            SDK("A", "")
+
+
+class TestDevice:
+    def test_app_device_needs_sdk(self):
+        with pytest.raises(ValueError):
+            Device(
+                model="roku-x",
+                platform=Platform.SET_TOP,
+                family="roku",
+                os_name="roku",
+            )
+
+    def test_browser_device_needs_no_sdk(self):
+        device = Device(
+            model="chrome-html5",
+            platform=Platform.BROWSER,
+            family="html5",
+            os_name="desktop",
+        )
+        assert device.uses_browser_player
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            Device(
+                model="", platform=Platform.BROWSER, family="f", os_name="o"
+            )
+
+
+class TestDefaultRegistry:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return default_registry()
+
+    def test_covers_all_platforms(self, registry):
+        for platform in Platform:
+            assert registry.models(platform), platform
+
+    def test_lookup_roundtrip(self, registry):
+        device = registry.lookup("roku-ultra")
+        assert device.platform is Platform.SET_TOP
+        assert device.family == "roku"
+        assert device.sdk_name == "RokuSDK"
+
+    def test_unknown_model(self, registry):
+        with pytest.raises(KeyError):
+            registry.lookup("vhs-player")
+
+    def test_contains(self, registry):
+        assert "iphone" in registry
+        assert "pager" not in registry
+
+    def test_browser_families_are_player_technologies(self, registry):
+        families = set(registry.families(Platform.BROWSER))
+        assert {"html5", "flash"} <= families
+
+    def test_mobile_families_are_oses(self, registry):
+        assert set(registry.families(Platform.MOBILE)) >= {"ios", "android"}
+
+    def test_taxonomy_matches_fig5(self, registry):
+        taxonomy = registry.taxonomy()
+        assert set(taxonomy) == set(Platform)
+        assert "roku" in taxonomy[Platform.SET_TOP]
+
+    def test_every_app_device_has_sdk(self, registry):
+        for model in registry.models():
+            device = registry.lookup(model)
+            if device.platform.is_app_based:
+                assert device.sdk_name
+
+    def test_duplicate_model_rejected(self):
+        device = Device(
+            model="x",
+            platform=Platform.BROWSER,
+            family="html5",
+            os_name="desktop",
+        )
+        with pytest.raises(ValueError):
+            DeviceRegistry([device, device])

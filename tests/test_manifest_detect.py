@@ -1,0 +1,114 @@
+"""Protocol detection from URLs — the Table 1 logic."""
+
+import pytest
+
+from repro.constants import Protocol
+from repro.errors import ProtocolDetectionError
+from repro.packaging.manifest.detect import (
+    detect_protocol,
+    detect_protocol_or_none,
+    extension_for,
+    sample_manifest_url,
+)
+
+
+class TestTable1Samples:
+    """The exact sample URLs printed in Table 1 of the paper."""
+
+    def test_hls_akamai_sample(self):
+        url = "http://foo.akamaihd.net/master.m3u8"
+        assert detect_protocol(url) is Protocol.HLS
+
+    def test_dash_limelight_sample(self):
+        url = "http://bar.llwnd.net//Z53TiGRzq.mpd"
+        assert detect_protocol(url) is Protocol.DASH
+
+    def test_mss_level3_sample(self):
+        url = "http://baz.level3.net/56.ism/manifest"
+        assert detect_protocol(url) is Protocol.MSS
+
+    def test_hds_aws_sample(self):
+        url = "http://qux.aws.com/cache/hds.f4m"
+        assert detect_protocol(url) is Protocol.HDS
+
+
+class TestExtensions:
+    def test_m3u_variant(self):
+        assert detect_protocol("http://x/y.m3u") is Protocol.HLS
+
+    def test_isml_live_variant(self):
+        assert detect_protocol("http://x/y.isml/manifest") is Protocol.MSS
+
+    def test_case_insensitive(self):
+        assert detect_protocol("http://x/MASTER.M3U8") is Protocol.HLS
+
+    def test_query_string_ignored(self):
+        url = "http://x/v.mpd?token=abc.m3u8"
+        assert detect_protocol(url) is Protocol.DASH
+
+    def test_progressive_mp4(self):
+        assert detect_protocol("http://x/movie.mp4") is Protocol.PROGRESSIVE
+
+    def test_progressive_flv(self):
+        assert detect_protocol("http://x/movie.flv") is Protocol.PROGRESSIVE
+
+
+class TestRtmpScheme:
+    """§3 footnote 5: RTMP is detected from the URL scheme."""
+
+    @pytest.mark.parametrize("scheme", ["rtmp", "rtmps", "rtmpe", "rtmpt"])
+    def test_rtmp_schemes(self, scheme):
+        assert detect_protocol(f"{scheme}://x/live/ch1") is Protocol.RTMP
+
+    def test_rtmp_beats_extension(self):
+        # Scheme is checked first, as the paper's rule implies.
+        assert detect_protocol("rtmp://x/live/ch1.mp4") is Protocol.RTMP
+
+
+class TestUnknowns:
+    def test_unknown_extension_raises(self):
+        with pytest.raises(ProtocolDetectionError):
+            detect_protocol("http://x/page.html")
+
+    def test_or_none_returns_none(self):
+        assert detect_protocol_or_none("http://x/page.html") is None
+        assert detect_protocol_or_none("") is None
+
+    def test_extensionless_path(self):
+        assert detect_protocol_or_none("http://x/watch/12345") is None
+
+    def test_dotfile_component_not_an_extension(self):
+        assert detect_protocol_or_none("http://x/.m3u8/foo") is None
+
+
+class TestInverse:
+    @pytest.mark.parametrize(
+        "protocol,extension",
+        [
+            (Protocol.HLS, ".m3u8"),
+            (Protocol.DASH, ".mpd"),
+            (Protocol.MSS, ".ism"),
+            (Protocol.HDS, ".f4m"),
+            (Protocol.PROGRESSIVE, ".mp4"),
+        ],
+    )
+    def test_extension_for(self, protocol, extension):
+        assert extension_for(protocol) == extension
+
+    def test_rtmp_has_no_extension(self):
+        with pytest.raises(ProtocolDetectionError):
+            extension_for(Protocol.RTMP)
+
+    @pytest.mark.parametrize(
+        "protocol",
+        [
+            Protocol.HLS,
+            Protocol.DASH,
+            Protocol.MSS,
+            Protocol.HDS,
+            Protocol.RTMP,
+        ],
+    )
+    def test_minted_urls_detect_back(self, protocol):
+        url = sample_manifest_url(protocol, "vid123", "edge.example.net")
+        assert detect_protocol(url) is protocol

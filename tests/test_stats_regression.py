@@ -1,0 +1,101 @@
+"""Log-log OLS and the t-distribution machinery (repro.stats.regression)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.regression import LogLogFit, fit_loglog, t_sf
+
+
+class TestExactFits:
+    def test_perfect_power_law(self):
+        xs = [10, 100, 1000, 10000]
+        ys = [x**0.5 for x in xs]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.p_value == pytest.approx(0.0, abs=1e-12)
+
+    def test_per_decade_factor(self):
+        xs = [1, 10, 100, 1000]
+        ys = [2 * x**0.2355 for x in xs]  # the paper's 1.72x slope
+        fit = fit_loglog(xs, ys)
+        assert fit.per_decade_factor == pytest.approx(1.72, rel=1e-3)
+
+    def test_intercept_recovered(self):
+        xs = [1, 10, 100]
+        ys = [5.0, 5.0, 5.0]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(0.0)
+        assert 10**fit.intercept == pytest.approx(5.0)
+
+    def test_predict(self):
+        fit = fit_loglog([1, 10, 100], [2, 20, 200])
+        assert fit.predict(1000) == pytest.approx(2000.0)
+
+    def test_predict_rejects_nonpositive(self):
+        fit = fit_loglog([1, 10, 100], [2, 20, 200])
+        with pytest.raises(ValueError):
+            fit.predict(0)
+
+    def test_sublinearity_flag(self):
+        sub = fit_loglog([1, 10, 100], [1, 5, 25])
+        sup = fit_loglog([1, 10, 100], [1, 20, 400])
+        assert sub.is_sublinear
+        assert not sup.is_sublinear
+
+
+class TestNoisyFits:
+    def test_noisy_slope_recovered(self, rng):
+        xs = np.logspace(0, 6, 80)
+        ys = 3.0 * xs**0.58 * np.exp(rng.normal(0, 0.2, size=80))
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(0.58, abs=0.05)
+        assert fit.p_value < 1e-9  # the paper's significance bar
+
+    def test_no_relationship_has_high_p(self, rng):
+        xs = np.logspace(0, 4, 30)
+        ys = np.exp(rng.normal(2.0, 0.5, size=30))
+        fit = fit_loglog(xs, ys)
+        assert fit.p_value > 0.01
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_loglog([1, 2], [1, 2])
+
+    def test_nonpositive_data(self):
+        with pytest.raises(ValueError):
+            fit_loglog([1, 2, 0], [1, 2, 3])
+        with pytest.raises(ValueError):
+            fit_loglog([1, 2, 3], [1, -2, 3])
+
+    def test_identical_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_loglog([5, 5, 5], [1, 2, 3])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_loglog([1, 2, 3], [1, 2])
+
+
+class TestStudentT:
+    def test_symmetry(self):
+        assert t_sf(0.0, 10) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # P[T > 2.228] with 10 df is 0.025 (classic t-table entry).
+        assert t_sf(2.228, 10) == pytest.approx(0.025, abs=2e-4)
+
+    def test_negative_argument(self):
+        assert t_sf(-2.228, 10) == pytest.approx(0.975, abs=2e-4)
+
+    def test_large_df_approaches_normal(self):
+        # P[Z > 1.96] = 0.025 for the standard normal.
+        assert t_sf(1.96, 10_000) == pytest.approx(0.025, abs=1e-3)
+
+    def test_bad_df(self):
+        with pytest.raises(ValueError):
+            t_sf(1.0, 0)

@@ -1,0 +1,149 @@
+"""Trend curves and population generation (repro.synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SyndicationRole
+from repro.errors import CalibrationError
+from repro.synthesis import calibration as cal
+from repro.synthesis.population import (
+    catalogue_size,
+    draw_view_hours,
+    generate_publishers,
+    size_decade,
+    size_rank_percentile,
+)
+from repro.synthesis.trends import AdoptionCurve, LinearDrift, supports
+
+
+class TestAdoptionCurve:
+    def test_endpoints_exact(self):
+        curve = AdoptionCurve(start=0.1, end=0.43)
+        assert curve.level(0.0) == pytest.approx(0.1)
+        assert curve.level(1.0) == pytest.approx(0.43)
+
+    def test_monotone_rising(self):
+        curve = AdoptionCurve(start=0.1, end=0.9)
+        levels = [curve.level(t) for t in np.linspace(0, 1, 20)]
+        assert levels == sorted(levels)
+        assert curve.is_rising
+
+    def test_monotone_declining(self):
+        curve = AdoptionCurve(start=0.35, end=0.19)
+        levels = [curve.level(t) for t in np.linspace(0, 1, 20)]
+        assert levels == sorted(levels, reverse=True)
+        assert not curve.is_rising
+
+    def test_flat_curve(self):
+        curve = AdoptionCurve(start=0.4, end=0.4)
+        assert curve.level(0.5) == pytest.approx(0.4)
+
+    def test_bounds_validation(self):
+        with pytest.raises(CalibrationError):
+            AdoptionCurve(start=-0.1, end=0.5)
+        with pytest.raises(CalibrationError):
+            AdoptionCurve(start=0.5, end=1.5)
+        with pytest.raises(CalibrationError):
+            AdoptionCurve(start=0.1, end=0.5, midpoint=1.0)
+        with pytest.raises(CalibrationError):
+            AdoptionCurve(start=0.1, end=0.5, steepness=0)
+
+    def test_progress_bounds(self):
+        curve = AdoptionCurve(start=0.1, end=0.9)
+        with pytest.raises(CalibrationError):
+            curve.level(-0.1)
+        with pytest.raises(CalibrationError):
+            curve.level(1.1)
+
+
+class TestThresholdAdoption:
+    def test_adoption_is_monotone_in_time(self):
+        curve = AdoptionCurve(start=0.1, end=0.9)
+        threshold = 0.5
+        states = [
+            supports(curve, threshold, t) for t in np.linspace(0, 1, 30)
+        ]
+        # Once adopted, never abandoned (single flip).
+        flips = sum(1 for a, b in zip(states, states[1:]) if a != b)
+        assert flips <= 1
+
+    def test_population_fraction_matches_level(self, rng):
+        curve = AdoptionCurve(start=0.2, end=0.8)
+        thresholds = rng.uniform(size=20_000)
+        for t in (0.0, 0.5, 1.0):
+            fraction = np.mean(
+                [supports(curve, u, t) for u in thresholds]
+            )
+            assert fraction == pytest.approx(curve.level(t), abs=0.02)
+
+    def test_threshold_validation(self):
+        with pytest.raises(CalibrationError):
+            supports(AdoptionCurve(start=0.1, end=0.9), 1.5, 0.5)
+
+
+class TestLinearDrift:
+    def test_interpolation(self):
+        drift = LinearDrift(start=1.0, end=3.0)
+        assert drift.level(0.5) == 2.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(CalibrationError):
+            LinearDrift(start=-1, end=0)
+
+
+class TestSizes:
+    def test_decade_boundaries(self):
+        x = cal.VIEW_HOUR_BASE_X
+        assert size_decade(x) == 0
+        assert size_decade(x * 10) == 1
+        assert size_decade(x * 10 + 1) == 2
+        assert size_decade(x * 1e9) == len(cal.SIZE_BUCKET_FRACTIONS) - 1
+
+    def test_rank_percentile_range(self):
+        assert size_rank_percentile(1.0) == 0.0
+        assert size_rank_percentile(1e20) == 1.0
+        mid = size_rank_percentile(cal.VIEW_HOUR_BASE_X * 1000)
+        assert 0.3 < mid < 0.8
+
+    def test_draw_respects_bucket_fractions(self, rng):
+        draws = draw_view_hours(rng, 8000)
+        decades = np.array([size_decade(v) for v in draws])
+        for decade, expected in enumerate(cal.SIZE_BUCKET_FRACTIONS):
+            observed = float(np.mean(decades == decade))
+            assert observed == pytest.approx(expected, abs=0.02)
+
+    def test_catalogue_size_sublinear(self, rng):
+        small = np.median(
+            [catalogue_size(cal.VIEW_HOUR_BASE_X * 10, rng) for _ in range(200)]
+        )
+        large = np.median(
+            [
+                catalogue_size(cal.VIEW_HOUR_BASE_X * 1e4, rng)
+                for _ in range(200)
+            ]
+        )
+        ratio = large / small
+        assert 1 < ratio < 1000  # grows, but far less than the 1000x size gap
+
+
+class TestPublishers:
+    def test_population_shape(self, rng):
+        publishers = generate_publishers(rng, 110)
+        assert len(publishers) == 110
+        assert len({p.publisher_id for p in publishers}) == 110
+
+    def test_sorted_by_size(self, rng):
+        publishers = generate_publishers(rng, 50)
+        sizes = [p.daily_view_hours for p in publishers]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_roles_present(self, rng):
+        publishers = generate_publishers(rng, 110)
+        roles = {p.role for p in publishers}
+        assert SyndicationRole.OWNER in roles
+        assert SyndicationRole.FULL_SYNDICATOR in roles
+
+    def test_every_publisher_serves_content(self, rng):
+        for publisher in generate_publishers(rng, 60):
+            assert publisher.serves_live or publisher.serves_vod
+            assert publisher.catalogue_size >= 3

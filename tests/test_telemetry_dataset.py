@@ -1,0 +1,190 @@
+"""The Dataset container (repro.telemetry.dataset)."""
+
+from datetime import date
+
+import pytest
+
+from repro.constants import ContentType
+from repro.errors import DatasetError
+from repro.telemetry.dataset import Dataset
+from tests.test_telemetry_records import make_record
+
+
+@pytest.fixture
+def small_dataset():
+    return Dataset(
+        [
+            make_record(
+                snapshot=date(2016, 1, 4),
+                publisher_id="p1",
+                weight=10,
+                view_duration_hours=1.0,
+            ),
+            make_record(
+                snapshot=date(2016, 1, 4),
+                publisher_id="p2",
+                weight=5,
+                view_duration_hours=2.0,
+                video_id="vid_y",
+            ),
+            make_record(
+                snapshot=date(2018, 3, 12),
+                publisher_id="p1",
+                weight=2,
+                view_duration_hours=0.5,
+                content_type=ContentType.LIVE,
+            ),
+        ]
+    )
+
+
+class TestSlicing:
+    def test_snapshots_sorted(self, small_dataset):
+        assert small_dataset.snapshots() == [
+            date(2016, 1, 4),
+            date(2018, 3, 12),
+        ]
+
+    def test_latest_and_first(self, small_dataset):
+        assert small_dataset.latest_snapshot() == date(2018, 3, 12)
+        assert small_dataset.first_snapshot() == date(2016, 1, 4)
+        assert len(small_dataset.latest()) == 1
+
+    def test_for_snapshot(self, small_dataset):
+        snap = small_dataset.for_snapshot(date(2016, 1, 4))
+        assert len(snap) == 2
+
+    def test_missing_snapshot_raises(self, small_dataset):
+        with pytest.raises(DatasetError):
+            small_dataset.for_snapshot(date(2017, 1, 1))
+
+    def test_empty_dataset_latest_raises(self):
+        with pytest.raises(DatasetError):
+            Dataset([]).latest_snapshot()
+
+    def test_filter(self, small_dataset):
+        live = small_dataset.filter(
+            lambda r: r.content_type is ContentType.LIVE
+        )
+        assert len(live) == 1
+
+    def test_exclude_publishers(self, small_dataset):
+        rest = small_dataset.exclude_publishers(["p1"])
+        assert rest.publishers() == {"p2"}
+
+
+class TestAggregation:
+    def test_totals(self, small_dataset):
+        assert small_dataset.total_view_hours() == pytest.approx(
+            10 * 1.0 + 5 * 2.0 + 2 * 0.5
+        )
+        assert small_dataset.total_views() == 17.0
+
+    def test_publisher_view_hours(self, small_dataset):
+        vh = small_dataset.publisher_view_hours()
+        assert vh["p1"] == pytest.approx(11.0)
+        assert vh["p2"] == pytest.approx(10.0)
+
+    def test_view_hours_by_arbitrary_key(self, small_dataset):
+        by_type = small_dataset.view_hours_by(lambda r: r.content_type)
+        assert by_type[ContentType.LIVE] == pytest.approx(1.0)
+
+    def test_views_by(self, small_dataset):
+        by_pub = small_dataset.views_by(lambda r: r.publisher_id)
+        assert by_pub["p1"] == 12.0
+
+    def test_top_publishers(self, small_dataset):
+        assert small_dataset.top_publishers(1) == ["p1"]
+        assert small_dataset.top_publishers(0) == []
+        with pytest.raises(DatasetError):
+            small_dataset.top_publishers(-1)
+
+    def test_distinct_video_ids(self, small_dataset):
+        assert small_dataset.distinct_video_ids() == 2
+        assert small_dataset.distinct_video_ids("p2") == 1
+
+
+class TestExplode:
+    def test_explode_preserves_aggregates(self, small_dataset):
+        exploded = small_dataset.explode()
+        assert len(exploded) == 17
+        assert exploded.total_view_hours() == pytest.approx(
+            small_dataset.total_view_hours()
+        )
+        assert exploded.total_views() == small_dataset.total_views()
+
+    def test_explode_unit_weights(self, small_dataset):
+        assert all(r.weight == 1.0 for r in small_dataset.explode())
+
+    def test_explode_rejects_fractional_weights(self):
+        dataset = Dataset([make_record(weight=1.5)])
+        with pytest.raises(DatasetError):
+            dataset.explode()
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "data.jsonl"
+        small_dataset.save(path)
+        loaded = Dataset.load(path)
+        assert loaded.records == small_dataset.records
+
+    def test_gzip_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "data.jsonl.gz"
+        small_dataset.save(path)
+        assert Dataset.load(path).records == small_dataset.records
+
+    def test_gzip_actually_compressed(self, small_dataset, tmp_path):
+        plain = tmp_path / "a.jsonl"
+        compressed = tmp_path / "a.jsonl.gz"
+        small_dataset.save(plain)
+        small_dataset.save(compressed)
+        assert compressed.stat().st_size < plain.stat().st_size
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            Dataset.load(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"broken": true}\n')
+        with pytest.raises(DatasetError) as excinfo:
+            Dataset.load(path)
+        assert "bad.jsonl:1" in str(excinfo.value)
+
+    def test_blank_lines_skipped(self, small_dataset, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        text = "\n".join(r.to_json() for r in small_dataset) + "\n\n\n"
+        path.write_text(text)
+        assert len(Dataset.load(path)) == 3
+
+
+class TestRepr:
+    def test_repr_mentions_shape(self, small_dataset):
+        text = repr(small_dataset)
+        assert "3 records" in text
+        assert "2 snapshots" in text
+        assert "2 publishers" in text
+
+
+class TestCsvExport:
+    def test_csv_written_with_header(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        small_dataset.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(small_dataset)
+        assert lines[0].startswith("snapshot,publisher_id,url")
+
+    def test_multivalue_fields_pipe_joined(self, tmp_path):
+        record = make_record(cdn_names=("A", "B"))
+        path = tmp_path / "data.csv"
+        Dataset([record]).to_csv(path)
+        body = path.read_text().splitlines()[1]
+        assert "A|B" in body
+        assert "150|600|2400" in body
+
+    def test_enum_values_serialized(self, small_dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        small_dataset.to_csv(path)
+        text = path.read_text()
+        assert "vod" in text and "wifi" in text
