@@ -6,6 +6,7 @@
     repro figure F2a [--dataset dataset.jsonl.gz] [--seed N]
     repro figures                # list ids
     repro summary [--seed N]     # §4.4 roll-up
+    repro ingest --policy quarantine --fault-rate 0.2   # robustness demo
 
 Figures that need generator ground truth (catalogue sizes, the case
 study) regenerate the ecosystem from the seed; pure-dataset figures can
@@ -20,8 +21,12 @@ from typing import List, Optional
 
 from repro import figures
 from repro.core.report import format_table
+from repro.errors import DatasetError
 from repro.synthesis.calibration import EcosystemConfig
 from repro.synthesis.generator import EcosystemGenerator, EcosystemResult
+from repro.telemetry.backend import TelemetryBackend
+from repro.telemetry.faults import FaultInjector, FaultMix
+from repro.telemetry.ingest import ErrorPolicy, events_from_records
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,6 +58,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments", help="paper-vs-measured verification report"
     )
     _add_generator_args(experiments)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="fault-injected event ingestion demo (robustness path)",
+    )
+    _add_generator_args(ingest)
+    ingest.add_argument(
+        "--policy",
+        choices=[policy.value for policy in ErrorPolicy],
+        default=ErrorPolicy.QUARANTINE.value,
+        help="error policy for bad events (default: quarantine)",
+    )
+    ingest.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.2,
+        help="fraction of events corrupted by the injector (default: 0.2)",
+    )
+    ingest.add_argument(
+        "--sessions",
+        type=int,
+        default=200,
+        help="number of view sessions to replay as events (default: 200)",
+    )
+    ingest.add_argument(
+        "--fault-seed",
+        type=int,
+        default=7,
+        help="seed for the fault injector RNG (default: 7)",
+    )
+    # The demo only needs a couple of snapshots' worth of sessions.
+    ingest.set_defaults(snapshots=2)
 
     return parser
 
@@ -123,7 +160,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0 if within > 0.8 else 1
 
+    if args.command == "ingest":
+        return _ingest(args)
+
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _ingest(args: argparse.Namespace) -> int:
+    """Replay generated views as raw events through the robust path."""
+    if args.sessions < 1:
+        print("ingest: --sessions must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        mix = FaultMix.uniform(args.fault_rate)
+    except DatasetError as exc:
+        print(f"ingest: {exc}", file=sys.stderr)
+        return 2
+    result = _generate(args)
+    records = [
+        r
+        for r in result.dataset.records
+        if r.view_duration_hours > 0 and r.rebuffer_ratio < 1.0
+    ][: args.sessions]
+    events = list(events_from_records(records))
+    injector = FaultInjector(mix, seed=args.fault_seed)
+    corrupted = injector.apply(events)
+    backend = TelemetryBackend()
+    try:
+        report = backend.ingest_events(corrupted, policy=args.policy)
+    except DatasetError as exc:
+        print(f"strict ingestion aborted: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"replayed {len(records)} sessions as {len(events)} events; "
+        f"fault rate {args.fault_rate:.0%} corrupted "
+        f"{len(injector.corrupted_sessions)} sessions "
+        f"({len(injector.log)} faults applied)"
+    )
+    print(report.summary())
+    if report.dead_letters:
+        rows = [
+            {"reason": reason, "events": count}
+            for reason, count in sorted(report.reason_counts().items())
+        ]
+        print(format_table(rows))
+    return 0
 
 
 if __name__ == "__main__":

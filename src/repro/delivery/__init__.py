@@ -12,6 +12,8 @@ from repro.delivery.edge import EdgeCache
 from repro.delivery.multicdn import (
     CdnBroker,
     CdnSelectionPolicy,
+    FailoverOutcome,
+    ResilientFetcher,
     RoundRobinPolicy,
     WeightedPolicy,
     ContentTypeSplitPolicy,
@@ -26,6 +28,8 @@ __all__ = [
     "EdgeCache",
     "CdnBroker",
     "CdnSelectionPolicy",
+    "FailoverOutcome",
+    "ResilientFetcher",
     "RoundRobinPolicy",
     "WeightedPolicy",
     "ContentTypeSplitPolicy",

@@ -9,14 +9,16 @@ publishers segregate live and VoD traffic by CDN.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import ContentType
 from repro.entities.cdn import CdnAssignment
-from repro.errors import DeliveryError
+from repro.errors import DeliveryError, RetryExhaustedError, TransportError
+from repro.resilience import BackoffPolicy, CircuitBreaker, retry_with_backoff
 
 
 class CdnSelectionPolicy(abc.ABC):
@@ -179,4 +181,123 @@ class CdnBroker:
             cdn_name=best,
             predicted_kbps=predicted if predicted != float("inf") else 0.0,
             scores={k: (v if v != float("inf") else 0.0) for k, v in scores.items()},
+        )
+
+    def ranked(
+        self,
+        assignments: Sequence[CdnAssignment],
+        content_type: ContentType,
+    ) -> List[str]:
+        """Eligible CDNs, best estimated throughput first (unmeasured
+        CDNs rank first so each gets probed)."""
+        eligible = CdnSelectionPolicy.eligible(assignments, content_type)
+        names = [a.cdn.name for a in eligible]
+        return sorted(
+            names,
+            key=lambda name: self._ewma_kbps.get(name, float("inf")),
+            reverse=True,
+        )
+
+
+@dataclass(frozen=True)
+class FailoverOutcome:
+    """Result of one resilient fetch: which CDN served, how hard it was."""
+
+    cdn_name: str
+    value: object
+    attempts: int
+    failed_cdns: Tuple[str, ...]
+    skipped_open_circuits: Tuple[str, ...]
+
+
+class ResilientFetcher:
+    """CDN failover with per-CDN retry/backoff and circuit breakers.
+
+    §2/§4.3 publishers keep multiple CDNs precisely for availability:
+    when the preferred CDN fails, traffic must fail over rather than
+    error out.  Each CDN gets its own :class:`CircuitBreaker`, so a CDN
+    in sustained failure is skipped outright until its recovery window
+    elapses; within a CDN, transient failures are retried with
+    exponential backoff before failing over to the next-ranked CDN.
+    """
+
+    def __init__(
+        self,
+        broker: CdnBroker,
+        *,
+        policy: Optional[BackoffPolicy] = None,
+        failure_threshold: int = 3,
+        recovery_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Optional[Callable[[float], None]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.broker = broker
+        self.policy = policy or BackoffPolicy(retries=2, base_delay=0.01)
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self._clock = clock
+        self._sleep = sleep
+        self._seed = seed
+        self._calls = 0
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, cdn_name: str) -> CircuitBreaker:
+        if cdn_name not in self._breakers:
+            self._breakers[cdn_name] = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                recovery_timeout=self.recovery_timeout,
+                clock=self._clock,
+            )
+        return self._breakers[cdn_name]
+
+    def fetch(
+        self,
+        assignments: Sequence[CdnAssignment],
+        content_type: ContentType,
+        fetch: Callable[[str], object],
+    ) -> FailoverOutcome:
+        """Fetch via the best available CDN, failing over on errors.
+
+        ``fetch(cdn_name)`` performs the actual transfer; transient
+        failures it raises (:class:`DeliveryError`,
+        :class:`TransportError`) are retried with backoff, then the
+        next-ranked CDN is tried.  Raises :class:`DeliveryError` only
+        when every eligible CDN is down or circuit-open.
+        """
+        self._calls += 1
+        attempts_total = 0
+        failed: List[str] = []
+        skipped: List[str] = []
+        for name in self.broker.ranked(assignments, content_type):
+            breaker = self.breaker(name)
+            if not breaker.allow():
+                breaker.rejected_calls += 1
+                skipped.append(name)
+                continue
+            try:
+                value = retry_with_backoff(
+                    lambda name=name: fetch(name),
+                    policy=self.policy,
+                    retry_on=(DeliveryError, TransportError),
+                    seed=self._seed + self._calls,
+                    sleep=self._sleep,
+                )
+            except RetryExhaustedError as exc:
+                breaker.record_failure()
+                attempts_total += exc.attempts
+                failed.append(name)
+                continue
+            breaker.record_success()
+            attempts_total += 1
+            return FailoverOutcome(
+                cdn_name=name,
+                value=value,
+                attempts=attempts_total,
+                failed_cdns=tuple(failed),
+                skipped_open_circuits=tuple(skipped),
+            )
+        raise DeliveryError(
+            "all eligible CDNs failed "
+            f"(failed={failed}, circuit-open={skipped})"
         )

@@ -50,3 +50,33 @@ class PlaybackError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was run against data that cannot support it."""
+
+
+class IngestError(DatasetError):
+    """The fault-tolerant ingestion pipeline was misconfigured."""
+
+
+class TransportError(ReproError):
+    """A (possibly transient) transport-level delivery failure."""
+
+
+class ResilienceError(ReproError):
+    """Base class for resilience-primitive failures."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """All retry attempts failed; ``last_error`` holds the final cause."""
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: "Exception | None" = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open and rejected the call without trying."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation ran past its deadline."""

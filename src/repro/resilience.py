@@ -1,0 +1,236 @@
+"""Reusable resilience primitives: retry/backoff, circuit breaker, deadline.
+
+A production management-plane backend ingests telemetry from millions of
+player SDKs over unreliable transports, so every remote hop needs the
+same three guards: bounded retries with exponential backoff and jitter,
+a circuit breaker that stops hammering a failing dependency, and a
+deadline so no call blocks forever.  These primitives are deterministic
+by construction — jitter comes from a seeded RNG and both the sleeper
+and the clock are injectable — which keeps simulations and tests
+reproducible while remaining drop-in usable against wall-clock time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Tuple, Type, TypeVar
+
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilienceError,
+    RetryExhaustedError,
+)
+
+T = TypeVar("T")
+
+
+# ----------------------------------------------------------------------
+# Retry with exponential backoff + jitter
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff schedule: ``base * multiplier**attempt``.
+
+    ``jitter`` is the fraction of each delay that is randomized: a delay
+    ``d`` becomes ``d * (1 - jitter + jitter * u)`` for ``u ~ U[0, 1)``,
+    so ``jitter=0`` is fully deterministic and ``jitter=1`` spreads the
+    delay uniformly over ``(0, d]``.
+    """
+
+    retries: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ResilienceError("retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ResilienceError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter + self.jitter * rng.random())
+
+    def schedule(self, seed: int = 0) -> List[float]:
+        """The full delay schedule for one seeded run (for inspection)."""
+        rng = random.Random(seed)
+        return [self.delay(i, rng) for i in range(self.retries)]
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    policy: Optional[BackoffPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (ResilienceError,),
+    seed: int = 0,
+    sleep: Optional[Callable[[float], None]] = None,
+    deadline: Optional["Deadline"] = None,
+    on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the policy's retries run out.
+
+    Only exceptions matching ``retry_on`` are retried; anything else
+    propagates immediately.  ``sleep`` defaults to ``None`` (no actual
+    sleeping — the schedule is still computed and reported), which keeps
+    simulated workloads fast; pass ``time.sleep`` for wall-clock waits.
+    A ``deadline`` is checked before every attempt and aborts with
+    :class:`DeadlineExceededError`.  On exhaustion raises
+    :class:`RetryExhaustedError` chained to the last failure.
+    """
+    pol = policy or BackoffPolicy()
+    rng = random.Random(seed)
+    last: Optional[BaseException] = None
+    attempts = 0
+    for attempt in range(pol.retries + 1):
+        if deadline is not None:
+            deadline.check("retry_with_backoff")
+        attempts += 1
+        try:
+            return fn()
+        except retry_on as exc:  # noqa: PERF203 - the loop IS the point
+            last = exc
+            if attempt >= pol.retries:
+                break
+            wait = pol.delay(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, exc, wait)
+            if sleep is not None:
+                sleep(wait)
+    raise RetryExhaustedError(
+        f"gave up after {attempts} attempts: {last}",
+        attempts=attempts,
+        last_error=last if isinstance(last, Exception) else None,
+    ) from last
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class CircuitState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker.
+
+    ``failure_threshold`` consecutive failures open the circuit; after
+    ``recovery_timeout`` seconds (per the injectable ``clock``) the next
+    ``allow()`` transitions to half-open and admits one probe call.  A
+    success closes the circuit, a failure re-opens it.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ResilienceError("failure_threshold must be >= 1")
+        if recovery_timeout < 0:
+            raise ResilienceError("recovery_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self._clock = clock
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self.rejected_calls = 0
+
+    @property
+    def state(self) -> CircuitState:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state is CircuitState.OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.recovery_timeout:
+                self._state = CircuitState.HALF_OPEN
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        self._maybe_half_open()
+        return self._state is not CircuitState.OPEN
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = CircuitState.CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state is CircuitState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = CircuitState.OPEN
+            self._opened_at = self._clock()
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker, recording the outcome."""
+        if not self.allow():
+            self.rejected_calls += 1
+            raise CircuitOpenError(
+                f"circuit open ({self._consecutive_failures} consecutive "
+                "failures); call rejected"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+
+
+class Deadline:
+    """A time budget checked cooperatively via :meth:`check`."""
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds < 0:
+            raise ResilienceError("deadline must be >= 0 seconds")
+        self.seconds = seconds
+        self._clock = clock
+        self._started = clock()
+
+    def remaining(self) -> float:
+        return self.seconds - (self._clock() - self._started)
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, label: str = "operation") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{label} exceeded its {self.seconds:.3f}s deadline"
+            )

@@ -15,6 +15,22 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.backend import TelemetryBackend, ComboRollup
 from repro.telemetry.dataset import Dataset
+from repro.telemetry.ingest import (
+    DeadLetter,
+    ErrorPolicy,
+    IngestPipeline,
+    IngestReport,
+    RejectReason,
+    RobustSessionizer,
+    events_from_record,
+    events_from_records,
+)
+from repro.telemetry.faults import (
+    FaultInjector,
+    FaultMix,
+    FlakyTransport,
+    corrupt_heartbeat,
+)
 from repro.telemetry.snapshots import (
     SnapshotSchedule,
     default_schedule,
@@ -42,4 +58,16 @@ __all__ = [
     "QualityIssue",
     "QualityReport",
     "audit",
+    "DeadLetter",
+    "ErrorPolicy",
+    "IngestPipeline",
+    "IngestReport",
+    "RejectReason",
+    "RobustSessionizer",
+    "events_from_record",
+    "events_from_records",
+    "FaultInjector",
+    "FaultMix",
+    "FlakyTransport",
+    "corrupt_heartbeat",
 ]

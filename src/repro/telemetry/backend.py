@@ -19,6 +19,7 @@ from repro.errors import DatasetError
 from repro.packaging.manifest.detect import detect_protocol_or_none
 from repro.telemetry.dataset import Dataset
 from repro.telemetry.events import Heartbeat, SessionEnd, SessionStart, Sessionizer
+from repro.telemetry.ingest import ErrorPolicy, IngestPipeline, IngestReport
 from repro.telemetry.records import ViewRecord
 
 
@@ -44,7 +45,9 @@ class TelemetryBackend:
     """Ingests events and records; answers rollup queries."""
 
     def __init__(self) -> None:
-        self._sessionizer = Sessionizer()
+        # The backend keeps the canonical record store; the sessionizer
+        # must not retain a second copy of every folded record.
+        self._sessionizer = Sessionizer(retain_records=False)
         self._records: List[ViewRecord] = []
 
     # ------------------------------------------------------------------
@@ -68,6 +71,31 @@ class TelemetryBackend:
             self.ingest_record(record)
             count += 1
         return count
+
+    def ingest_events(
+        self,
+        events: Iterable[object],
+        policy: ErrorPolicy | str = ErrorPolicy.QUARANTINE,
+        *,
+        reorder_buffer: int = 256,
+        max_idle_events: Optional[int] = None,
+    ) -> IngestReport:
+        """Fault-tolerant batch ingestion of a raw event stream.
+
+        Runs the events through an :class:`IngestPipeline` under the
+        given :class:`ErrorPolicy` (``strict`` raises on the first bad
+        event exactly like :meth:`ingest_event`; ``quarantine`` and
+        ``repair`` never raise), stores the folded records, and returns
+        the pipeline's :class:`IngestReport` with the dead-letter queue.
+        """
+        pipeline = IngestPipeline(
+            policy,
+            reorder_buffer=reorder_buffer,
+            max_idle_events=max_idle_events,
+        )
+        report = pipeline.run(events)
+        self._records.extend(report.records)
+        return report
 
     @property
     def record_count(self) -> int:
@@ -106,6 +134,18 @@ class TelemetryBackend:
             groups.items(), key=lambda item: item[0]
         ):
             views = sum(r.views for r in records)
+            if views > 0:
+                mean_rebuffer = (
+                    sum(r.rebuffer_ratio * r.views for r in records) / views
+                )
+                mean_bitrate = (
+                    sum(r.avg_bitrate_kbps * r.views for r in records) / views
+                )
+            else:
+                # A combo with zero summed views has no meaningful mean;
+                # report zeros instead of dividing by zero.
+                mean_rebuffer = 0.0
+                mean_bitrate = 0.0
             rollups.append(
                 ComboRollup(
                     cdn_name=cdn,
@@ -113,14 +153,8 @@ class TelemetryBackend:
                     device_model=device,
                     views=views,
                     view_hours=sum(r.view_hours for r in records),
-                    mean_rebuffer_ratio=sum(
-                        r.rebuffer_ratio * r.views for r in records
-                    )
-                    / views,
-                    mean_bitrate_kbps=sum(
-                        r.avg_bitrate_kbps * r.views for r in records
-                    )
-                    / views,
+                    mean_rebuffer_ratio=mean_rebuffer,
+                    mean_bitrate_kbps=mean_bitrate,
                 )
             )
         return rollups

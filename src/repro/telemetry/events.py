@@ -46,7 +46,12 @@ class SessionStart:
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Periodic playback report (Conviva uses ~20 s heartbeats)."""
+    """Periodic playback report (Conviva uses ~20 s heartbeats).
+
+    ``seq`` is an optional per-session sequence number assigned by the
+    monitoring library; when present it lets the ingestion layer detect
+    duplicated heartbeats that are otherwise byte-identical.
+    """
 
     session_id: str
     interval_seconds: float
@@ -54,6 +59,7 @@ class Heartbeat:
     rebuffering_seconds: float
     bitrate_kbps: float
     cdn_name: str
+    seq: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.interval_seconds <= 0:
@@ -80,12 +86,19 @@ class Sessionizer:
     Events may interleave across sessions; a record is produced when a
     session's end event arrives.  Sessions must start before they beat
     or end, and heartbeats after an end are rejected.
+
+    With ``retain_records=False`` folded records are returned to the
+    caller but not accumulated internally, so a long-lived owner (e.g.
+    :class:`~repro.telemetry.backend.TelemetryBackend`) that keeps its
+    own record store does not hold every record twice.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, retain_records: bool = True) -> None:
         self._open: Dict[str, SessionStart] = {}
         self._beats: Dict[str, List[Heartbeat]] = {}
         self._records: List[ViewRecord] = []
+        self._retain_records = retain_records
+        self._folded = 0
 
     def ingest(self, event: object) -> Optional[ViewRecord]:
         """Process one event; returns a record when a session closes."""
@@ -105,20 +118,30 @@ class Sessionizer:
             self._beats[event.session_id].append(event)
             return None
         if isinstance(event, SessionEnd):
-            start = self._open.pop(event.session_id, None)
+            start = self._open.get(event.session_id)
             if start is None:
                 raise DatasetError(
                     f"end for unknown session {event.session_id!r}"
                 )
-            beats = self._beats.pop(event.session_id)
-            record = self._fold(start, beats)
-            self._records.append(record)
+            # Fold BEFORE popping: a fold failure (e.g. no heartbeats)
+            # must leave the session recoverable, not destroy it.
+            record = self._fold(start, self._beats.get(event.session_id, ()))
+            del self._open[event.session_id]
+            self._beats.pop(event.session_id, None)
+            if self._retain_records:
+                self._records.append(record)
+            self._folded += 1
             return record
         raise DatasetError(f"unknown event type {type(event).__name__}")
 
     @property
     def records(self) -> Tuple[ViewRecord, ...]:
         return tuple(self._records)
+
+    @property
+    def folded_count(self) -> int:
+        """Sessions folded so far (counted even without retention)."""
+        return self._folded
 
     @property
     def open_sessions(self) -> int:

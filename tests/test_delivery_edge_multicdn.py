@@ -9,6 +9,7 @@ from repro.delivery.edge import EdgeCache
 from repro.delivery.multicdn import (
     CdnBroker,
     ContentTypeSplitPolicy,
+    ResilientFetcher,
     RoundRobinPolicy,
     WeightedPolicy,
 )
@@ -257,3 +258,107 @@ class TestAnycast:
             AnycastRouteModel(daily_change_rate=-1)
         with pytest.raises(DeliveryError):
             AnycastRouteModel().disruption_probability(-1)
+
+
+class TestResilientFetcher:
+    def _fetcher(self, clock=None, **kwargs):
+        from repro.resilience import BackoffPolicy
+
+        broker = CdnBroker(explore=0.0)
+        broker.observe("A", 5000.0)
+        broker.observe("B", 2000.0)
+        broker.observe("C", 500.0)
+        defaults = dict(
+            policy=BackoffPolicy(retries=1, base_delay=0.0, jitter=0.0),
+            failure_threshold=2,
+            recovery_timeout=30.0,
+        )
+        defaults.update(kwargs)
+        if clock is not None:
+            defaults["clock"] = clock
+        return ResilientFetcher(broker, **defaults), broker
+
+    def test_fetches_from_best_cdn_when_healthy(self):
+        fetcher, _ = self._fetcher()
+        outcome = fetcher.fetch(
+            _assignments("A", "B", "C"),
+            ContentType.VOD,
+            lambda name: f"chunk-from-{name}",
+        )
+        assert outcome.cdn_name == "A"
+        assert outcome.value == "chunk-from-A"
+        assert outcome.failed_cdns == ()
+
+    def test_fails_over_to_next_cdn_after_retries(self):
+        fetcher, _ = self._fetcher()
+        attempts = []
+
+        def fetch(name):
+            attempts.append(name)
+            if name == "A":
+                raise DeliveryError("A is down")
+            return f"chunk-from-{name}"
+
+        outcome = fetcher.fetch(
+            _assignments("A", "B", "C"), ContentType.VOD, fetch
+        )
+        assert outcome.cdn_name == "B"
+        assert outcome.failed_cdns == ("A",)
+        # retries=1 means two attempts against A before failing over.
+        assert attempts == ["A", "A", "B"]
+
+    def test_circuit_opens_and_skips_failing_cdn(self):
+        now = [0.0]
+        fetcher, _ = self._fetcher(clock=lambda: now[0])
+
+        def fetch(name):
+            if name == "A":
+                raise DeliveryError("A is down")
+            return f"chunk-from-{name}"
+
+        # Two failed fetch() calls (threshold=2) open A's circuit.
+        fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+        fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+        calls = []
+
+        def counting_fetch(name):
+            calls.append(name)
+            return fetch(name)
+
+        outcome = fetcher.fetch(
+            _assignments("A", "B"), ContentType.VOD, counting_fetch
+        )
+        assert outcome.skipped_open_circuits == ("A",)
+        assert calls == ["B"]  # A never even attempted
+
+    def test_circuit_recovers_after_timeout(self):
+        now = [0.0]
+        fetcher, _ = self._fetcher(clock=lambda: now[0])
+        down = {"A"}
+
+        def fetch(name):
+            if name in down:
+                raise DeliveryError(f"{name} is down")
+            return f"chunk-from-{name}"
+
+        fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+        fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+        down.clear()
+        now[0] = 31.0  # past the recovery window: half-open probe allowed
+        outcome = fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+        assert outcome.cdn_name == "A"
+        assert outcome.skipped_open_circuits == ()
+
+    def test_all_cdns_down_raises_delivery_error(self):
+        fetcher, _ = self._fetcher()
+
+        def fetch(name):
+            raise DeliveryError(f"{name} is down")
+
+        with pytest.raises(DeliveryError):
+            fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+
+    def test_ranked_orders_by_ewma(self):
+        _, broker = self._fetcher()
+        ranked = broker.ranked(_assignments("A", "B", "C"), ContentType.VOD)
+        assert ranked == ["A", "B", "C"]

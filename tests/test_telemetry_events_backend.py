@@ -193,3 +193,67 @@ class TestBackend:
         backend.ingest_record(make_record(publisher_id="pub_001"))
         backend.ingest_record(make_record(publisher_id="pub_002"))
         assert len(backend.combo_rollups(publisher_id="pub_001")) == 1
+
+    def test_zero_view_combo_reports_zeroed_means(self):
+        backend = TelemetryBackend()
+        # A record whose summed views is zero cannot be constructed
+        # through the validated path; forge one the way a corrupted
+        # store would, and make sure rollups degrade instead of crash.
+        record = make_record()
+        forged = object.__new__(type(record))
+        for name, value in vars(record).items():
+            object.__setattr__(forged, name, value)
+        object.__setattr__(forged, "weight", 0.0)
+        backend._records.append(forged)
+        rollup = backend.combo_rollups()[0]
+        assert rollup.views == 0.0
+        assert rollup.mean_rebuffer_ratio == 0.0
+        assert rollup.mean_bitrate_kbps == 0.0
+
+    def test_event_path_does_not_double_retain_records(self):
+        backend = TelemetryBackend()
+        backend.ingest_event(_start())
+        backend.ingest_event(_beat())
+        backend.ingest_event(SessionEnd("s1"))
+        assert backend.record_count == 1
+        # The inner sessionizer hands records over without keeping them.
+        assert backend._sessionizer.records == ()
+        assert backend._sessionizer.folded_count == 1
+
+    def test_ingest_events_batch_quarantine(self):
+        backend = TelemetryBackend()
+        report = backend.ingest_events(
+            [_start(), _beat(), SessionEnd("s1"), SessionEnd("ghost")],
+            policy="quarantine",
+        )
+        assert len(report.records) == 1
+        assert report.quarantined == 1
+        assert backend.record_count == 1
+
+    def test_ingest_events_strict_raises(self):
+        backend = TelemetryBackend()
+        with pytest.raises(DatasetError):
+            backend.ingest_events([SessionEnd("ghost")], policy="strict")
+
+
+class TestSessionizerStateRecovery:
+    def test_failed_fold_leaves_session_recoverable(self):
+        """A fold failure must not destroy the session's state."""
+        sessionizer = Sessionizer()
+        sessionizer.ingest(_start())
+        with pytest.raises(DatasetError):
+            sessionizer.ingest(SessionEnd("s1"))  # no heartbeats yet
+        assert sessionizer.open_sessions == 1
+        sessionizer.ingest(_beat())
+        record = sessionizer.ingest(SessionEnd("s1"))
+        assert record is not None
+        assert sessionizer.open_sessions == 0
+
+    def test_retention_can_be_disabled(self):
+        sessionizer = Sessionizer(retain_records=False)
+        sessionizer.ingest(_start())
+        sessionizer.ingest(_beat())
+        record = sessionizer.ingest(SessionEnd("s1"))
+        assert record is not None
+        assert sessionizer.records == ()
+        assert sessionizer.folded_count == 1

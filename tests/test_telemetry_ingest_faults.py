@@ -1,0 +1,420 @@
+"""Fault-tolerant ingestion under deterministic fault injection.
+
+The robustness contract: ``quarantine`` mode never raises no matter how
+the stream is corrupted, every rejected event is accounted for in the
+dead-letter queue with a typed reason, and sessions the injector did
+not touch fold to exactly the records a clean run produces.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.constants import ContentType
+from repro.errors import DatasetError, IngestError, TransportError
+from repro.resilience import CircuitBreaker, CircuitState, retry_with_backoff
+from repro.telemetry.events import (
+    Heartbeat,
+    SessionEnd,
+    SessionStart,
+    Sessionizer,
+)
+from repro.telemetry.faults import (
+    FaultInjector,
+    FaultMix,
+    FlakyTransport,
+    corrupt_heartbeat,
+)
+from repro.telemetry.ingest import (
+    ErrorPolicy,
+    IngestPipeline,
+    RejectReason,
+    RobustSessionizer,
+    events_from_record,
+    events_from_records,
+)
+from repro.telemetry.records import ViewRecord
+
+
+def make_record(i: int = 0, **overrides) -> ViewRecord:
+    kwargs = dict(
+        snapshot=date(2018, 3, 12),
+        publisher_id=f"pub_{i % 5:03d}",
+        url="http://a.cdn.example.net/vid/master.m3u8",
+        device_model="roku-ultra",
+        os_name="roku",
+        cdn_names=("A", "B") if i % 3 == 0 else ("A",),
+        bitrate_ladder_kbps=(150.0, 600.0),
+        view_duration_hours=0.01 + i * 0.001,
+        avg_bitrate_kbps=600.0,
+        rebuffer_ratio=0.02,
+        content_type=ContentType.VOD,
+        video_id=f"vid_{i:04d}",
+    )
+    kwargs.update(overrides)
+    return ViewRecord(**kwargs)
+
+
+def _start(session_id="s1", **overrides) -> SessionStart:
+    kwargs = dict(
+        session_id=session_id,
+        snapshot=date(2018, 3, 12),
+        publisher_id="pub_001",
+        url="http://a.cdn.example.net/vid_x/master.m3u8",
+        video_id="vid_x",
+        device_model="roku-ultra",
+        os_name="roku",
+        content_type=ContentType.VOD,
+        bitrate_ladder_kbps=(150.0, 600.0),
+    )
+    kwargs.update(overrides)
+    return SessionStart(**kwargs)
+
+
+def _beat(session_id="s1", playing=18.0, rebuffering=2.0, seq=None):
+    return Heartbeat(
+        session_id=session_id,
+        interval_seconds=20.0,
+        playing_seconds=playing,
+        rebuffering_seconds=rebuffering,
+        bitrate_kbps=600.0,
+        cdn_name="A",
+        seq=seq,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_records():
+    return [make_record(i) for i in range(40)]
+
+
+@pytest.fixture(scope="module")
+def clean_events(clean_records):
+    return list(events_from_records(clean_records))
+
+
+@pytest.fixture(scope="module")
+def clean_report(clean_events):
+    return IngestPipeline(ErrorPolicy.QUARANTINE).run(clean_events)
+
+
+class TestEventRoundTrip:
+    def test_clean_stream_reproduces_all_records(
+        self, clean_records, clean_report
+    ):
+        assert len(clean_report.records) == len(clean_records)
+        assert clean_report.quarantined == 0
+        assert clean_report.deduped == 0
+        for original, folded in zip(clean_records, clean_report.records):
+            assert folded.video_id == original.video_id
+            assert folded.view_duration_hours == pytest.approx(
+                original.view_duration_hours
+            )
+            assert folded.rebuffer_ratio == pytest.approx(
+                original.rebuffer_ratio
+            )
+            assert folded.avg_bitrate_kbps == pytest.approx(
+                original.avg_bitrate_kbps
+            )
+            assert folded.cdn_names == original.cdn_names
+
+    def test_zero_playback_record_has_no_event_form(self):
+        record = make_record(0, view_duration_hours=0.0)
+        with pytest.raises(IngestError):
+            events_from_record(record, session_id="s")
+
+
+@pytest.mark.robustness
+class TestQuarantineFuzz:
+    """Seeded corruption sweeps: the quarantine contract, end to end."""
+
+    SEEDS = range(12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_quarantine_never_raises_and_accounts_for_every_event(
+        self, clean_events, seed
+    ):
+        injector = FaultInjector(FaultMix.uniform(0.25), seed=seed)
+        corrupted = injector.apply(clean_events)
+        pipeline = IngestPipeline(ErrorPolicy.QUARANTINE)
+        report = pipeline.run(corrupted)  # must not raise
+        assert (
+            report.accepted + report.deduped + report.event_quarantined
+            == report.total_events
+            == len(corrupted)
+        )
+        assert report.quarantined == len(report.dead_letters)
+        assert all(
+            isinstance(letter.reason, RejectReason)
+            for letter in report.dead_letters
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_uncorrupted_sessions_match_clean_run(
+        self, clean_records, clean_events, clean_report, seed
+    ):
+        injector = FaultInjector(FaultMix.uniform(0.25), seed=seed)
+        corrupted = injector.apply(clean_events)
+        report = IngestPipeline(ErrorPolicy.QUARANTINE).run(corrupted)
+        clean_by_vid = {r.video_id: r for r in clean_report.records}
+        faulty_by_vid = {r.video_id: r for r in report.records}
+        untouched = 0
+        for index, record in enumerate(clean_records):
+            sid = f"sess_{index:06d}"
+            if sid in injector.corrupted_sessions:
+                continue
+            untouched += 1
+            assert faulty_by_vid[record.video_id] == clean_by_vid[
+                record.video_id
+            ]
+        assert untouched > 0  # the sweep must actually test something
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_repair_mode_never_raises_and_keeps_at_least_quarantine_yield(
+        self, clean_events, seed
+    ):
+        injector = FaultInjector(FaultMix.uniform(0.25), seed=seed)
+        corrupted = injector.apply(clean_events)
+        quarantine = IngestPipeline(ErrorPolicy.QUARANTINE).run(
+            list(corrupted)
+        )
+        repair = IngestPipeline(ErrorPolicy.REPAIR).run(list(corrupted))
+        assert len(repair.records) >= len(quarantine.records)
+        assert (
+            repair.accepted + repair.deduped + repair.event_quarantined
+            == repair.total_events
+        )
+
+    def test_heavy_corruption_still_completes(self, clean_events):
+        injector = FaultInjector(FaultMix.uniform(0.6), seed=99)
+        report = IngestPipeline(ErrorPolicy.QUARANTINE).run(
+            injector.apply(clean_events)
+        )
+        assert report.total_events > 0
+        assert (
+            report.accepted + report.deduped + report.event_quarantined
+            == report.total_events
+        )
+
+
+class TestStrictParity:
+    """Strict mode must raise exactly what the plain Sessionizer raises."""
+
+    CASES = {
+        "duplicate_start": [_start(), _beat(), _start()],
+        "orphan_heartbeat": [_beat()],
+        "unknown_end": [SessionEnd("ghost")],
+        "end_without_heartbeats": [_start(), SessionEnd("s1")],
+        "unknown_event_type": [_start(), "not an event"],
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_strict_matches_plain_sessionizer(self, name):
+        events = self.CASES[name]
+        with pytest.raises(DatasetError) as plain:
+            plain_sessionizer = Sessionizer()
+            for event in events:
+                plain_sessionizer.ingest(event)
+        with pytest.raises(DatasetError) as robust:
+            pipeline = IngestPipeline(ErrorPolicy.STRICT)
+            for event in events:
+                pipeline.ingest(event)
+        assert str(robust.value) == str(plain.value)
+
+    def test_strict_clean_stream_matches(self, clean_events, clean_report):
+        report = IngestPipeline(ErrorPolicy.STRICT).run(list(clean_events))
+        assert report.records == clean_report.records
+
+
+class TestDeadLetterReasons:
+    def run(self, events, policy=ErrorPolicy.QUARANTINE, **kwargs):
+        return IngestPipeline(policy, **kwargs).run(events)
+
+    def reasons(self, report):
+        return [letter.reason for letter in report.dead_letters]
+
+    def test_unknown_session_end(self):
+        report = self.run([SessionEnd("ghost")])
+        assert self.reasons(report) == [RejectReason.UNKNOWN_SESSION]
+
+    def test_conflicting_duplicate_start(self):
+        report = self.run(
+            [_start(), _start(publisher_id="pub_other"), _beat(),
+             SessionEnd("s1")]
+        )
+        assert self.reasons(report) == [RejectReason.DUPLICATE_START]
+        assert len(report.records) == 1  # first start wins
+
+    def test_identical_duplicate_start_is_deduped_not_quarantined(self):
+        report = self.run([_start(), _start(), _beat(), SessionEnd("s1")])
+        assert report.deduped == 1
+        assert report.quarantined == 0
+
+    def test_negative_timing_quarantined(self):
+        bad = corrupt_heartbeat(_beat(), playing_seconds=-5.0)
+        report = self.run([_start(), bad, _beat(), SessionEnd("s1")])
+        assert RejectReason.NEGATIVE_TIMING in self.reasons(report)
+        assert len(report.records) == 1  # session survives on good beats
+
+    def test_negative_timing_repaired_in_repair_mode(self):
+        bad = corrupt_heartbeat(_beat(), playing_seconds=-5.0)
+        report = self.run(
+            [_start(), bad, _beat(), SessionEnd("s1")],
+            policy=ErrorPolicy.REPAIR,
+        )
+        assert report.repaired == 1
+        assert report.quarantined == 0
+        assert len(report.records) == 1
+
+    def test_end_without_heartbeats(self):
+        report = self.run([_start(), SessionEnd("s1")])
+        assert self.reasons(report) == [RejectReason.END_WITHOUT_HEARTBEATS]
+
+    def test_orphan_heartbeat_after_close(self):
+        report = self.run([_start(), _beat(), SessionEnd("s1"), _beat()])
+        assert self.reasons(report) == [RejectReason.ORPHAN_HEARTBEAT]
+
+    def test_orphan_heartbeat_never_started(self):
+        report = self.run([_beat("never_started")])
+        assert self.reasons(report) == [RejectReason.ORPHAN_HEARTBEAT]
+        assert report.dead_letters[0].sequence == 0
+
+    def test_truncated_start_quarantined_at_fold(self):
+        report = self.run(
+            [_start(publisher_id=""), _beat(), SessionEnd("s1")]
+        )
+        assert self.reasons(report) == [RejectReason.MALFORMED_EVENT]
+
+    def test_unknown_event_type(self):
+        report = self.run([42])
+        assert self.reasons(report) == [RejectReason.UNKNOWN_EVENT_TYPE]
+
+    def test_reorder_buffer_replays_early_heartbeats(self):
+        report = self.run([_beat(), _beat(), _start(), SessionEnd("s1")])
+        assert report.quarantined == 0
+        assert len(report.records) == 1
+        assert report.records[0].view_duration_hours == pytest.approx(
+            36.0 / 3600
+        )
+
+    def test_reorder_buffer_overflow(self):
+        report = self.run(
+            [_beat(f"s{i}") for i in range(5)], reorder_buffer=3
+        )
+        counts = report.reason_counts()
+        assert counts[RejectReason.REORDER_OVERFLOW.value] == 2
+        # The three parked beats become orphans at finalize.
+        assert counts[RejectReason.ORPHAN_HEARTBEAT.value] == 3
+
+    def test_end_before_start_is_replayed_in_order(self):
+        report = self.run([_beat(), SessionEnd("s1"), _start()])
+        assert len(report.records) == 1
+        assert report.quarantined == 0
+
+    def test_stale_session_reaped_by_idle_gap(self):
+        events = [_start("stale"), _beat("stale")]
+        events += [
+            event
+            for i in range(10)
+            for event in (_start(f"s{i}"), _beat(f"s{i}"),
+                          SessionEnd(f"s{i}"))
+        ]
+        report = self.run(events, max_idle_events=5)
+        assert RejectReason.STALE_SESSION in self.reasons(report)
+        assert report.reaped == 1
+        assert len(report.records) == 10  # stale session dropped
+
+    def test_stale_session_force_folded_in_repair_mode(self):
+        events = [_start("stale"), _beat("stale")]
+        events += [
+            event
+            for i in range(10)
+            for event in (_start(f"s{i}"), _beat(f"s{i}"),
+                          SessionEnd(f"s{i}"))
+        ]
+        report = self.run(
+            events, policy=ErrorPolicy.REPAIR, max_idle_events=5
+        )
+        assert report.reaped == 1
+        # The stale session is force-folded into a record, not dropped.
+        assert len(report.records) == 11
+        assert RejectReason.STALE_SESSION not in self.reasons(report)
+
+    def test_duplicate_heartbeat_deduped_by_seq(self):
+        beat = _beat(seq=0)
+        report = self.run(
+            [_start(), beat, beat, _beat(seq=1), SessionEnd("s1")]
+        )
+        assert report.deduped == 1
+        assert report.records[0].view_duration_hours == pytest.approx(
+            36.0 / 3600
+        )
+
+    def test_duplicate_end_deduped(self):
+        report = self.run(
+            [_start(), _beat(), SessionEnd("s1"), SessionEnd("s1")]
+        )
+        assert report.deduped == 1
+        assert len(report.records) == 1
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_stream(self, clean_events):
+        mix = FaultMix.uniform(0.3)
+        first = FaultInjector(mix, seed=5).apply(clean_events)
+        second = FaultInjector(mix, seed=5).apply(clean_events)
+        assert first == second
+
+    def test_different_seed_different_stream(self, clean_events):
+        mix = FaultMix.uniform(0.3)
+        first = FaultInjector(mix, seed=5).apply(clean_events)
+        second = FaultInjector(mix, seed=6).apply(clean_events)
+        assert first != second
+
+    def test_zero_rate_is_identity(self, clean_events):
+        injector = FaultInjector(FaultMix(), seed=5)
+        assert injector.apply(clean_events) == list(clean_events)
+        assert injector.corrupted_sessions == set()
+
+    def test_rates_validated(self):
+        with pytest.raises(DatasetError):
+            FaultMix(drop=0.8, duplicate=0.5)
+        with pytest.raises(DatasetError):
+            FaultMix(drop=-0.1)
+
+
+@pytest.mark.robustness
+class TestFlakyTransportResilience:
+    def test_thirty_percent_failure_rate_succeeds_with_retries(self):
+        transport = FlakyTransport(
+            lambda payload: f"stored:{payload}", failure_rate=0.3, seed=11
+        )
+        for i in range(50):
+            result = retry_with_backoff(
+                lambda i=i: transport(i),
+                retry_on=(TransportError,),
+                seed=i,
+            )
+            assert result == f"stored:{i}"
+        assert transport.failures > 0  # the flakiness actually fired
+
+    def test_sustained_failure_trips_circuit_breaker(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=3, recovery_timeout=60.0,
+            clock=lambda: clock[0],
+        )
+        transport = FlakyTransport(lambda: "ok", failure_rate=1.0, seed=0)
+        outcomes = []
+        for _ in range(10):
+            try:
+                breaker.call(transport)
+            except TransportError:
+                outcomes.append("transport")
+            except Exception as exc:
+                outcomes.append(type(exc).__name__)
+        assert breaker.state is CircuitState.OPEN
+        # After 3 real failures the breaker short-circuits the rest.
+        assert outcomes[:3] == ["transport"] * 3
+        assert outcomes[3:] == ["CircuitOpenError"] * 7
+        assert transport.attempts == 3
