@@ -91,6 +91,38 @@ def _build_parser() -> argparse.ArgumentParser:
     # The demo only needs a couple of snapshots' worth of sessions.
     ingest.set_defaults(snapshots=2)
 
+    lint = sub.add_parser(
+        "lint",
+        help="replint static analysis: determinism/units/error hygiene",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: [tool.replint] paths)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="finding output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline file",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="project root containing pyproject.toml (default: cwd)",
+    )
+
     return parser
 
 
@@ -163,7 +195,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "ingest":
         return _ingest(args)
 
+    if args.command == "lint":
+        return _lint(args)
+
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _lint(args: argparse.Namespace) -> int:
+    """Run the replint rule pack; see repro.lint for the rule codes."""
+    import os
+
+    from repro.lint import LintConfig, run_lint, write_baseline
+    from repro.lint.registry import LintRuleError
+    from repro.lint.report import format_json, format_text
+
+    try:
+        config = LintConfig.load(args.root)
+        result = run_lint(
+            args.paths or None,
+            config=config,
+            use_baseline=not args.no_baseline,
+        )
+        if args.baseline:
+            baseline_path = os.path.join(args.root, config.baseline_path)
+            count = write_baseline(
+                baseline_path, result.findings + result.baselined
+            )
+            print(f"wrote {count} suppression(s) to {baseline_path}")
+            return 0
+    except LintRuleError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result))
+    return result.exit_code
 
 
 def _ingest(args: argparse.Namespace) -> int:

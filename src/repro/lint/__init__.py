@@ -1,0 +1,57 @@
+"""replint: repo-specific static analysis for reproduction invariants.
+
+The test suite can verify values; it cannot verify *habits*.  Three
+habits keep this reproduction honest — every figure derives from an
+explicit seed, quantities never silently change units, and failures
+surface through the :mod:`repro.errors` taxonomy rather than vanishing
+into broad handlers.  ``replint`` walks the AST of every source file
+and enforces those habits at commit time with six rules:
+
+========  ==========================================================
+RPL001    unseeded randomness in synthesis/fault/playback paths
+RPL002    wall-clock reads (``time.time``/``datetime.now``) in
+          analysis code
+RPL003    bare/broad exception handlers that do not re-raise
+RPL004    ``==``/``!=`` against float literals in ``stats/``
+RPL005    arithmetic mixing identifiers with conflicting unit
+          suffixes (``_ms`` vs ``_s``, ``_kbps`` vs ``_bps``, ...)
+RPL006    iterating a ``set`` into ordered output in figure code
+========  ==========================================================
+
+Public API::
+
+    from repro.lint import run_lint, LintConfig
+
+    result = run_lint(["src"], config=LintConfig.load("."))
+    for finding in result.findings:
+        print(finding.format())
+
+Configuration lives in ``pyproject.toml`` under ``[tool.replint]``;
+pre-existing findings can be frozen into a baseline file so CI fails
+only on *new* violations (``repro lint --baseline`` writes it).
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintResult, lint_source, run_lint
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rules, get_rule, rule
+
+# Importing the rule pack registers every rule with the registry.
+from repro.lint import rules as _rules  # noqa: F401  (import for side effect)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "load_baseline",
+    "rule",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,199 @@
+"""``pyproject.toml``-driven configuration for replint.
+
+The config lives under ``[tool.replint]``::
+
+    [tool.replint]
+    paths = ["src"]
+    exclude = ["*/__pycache__/*"]
+    baseline = ".replint-baseline.json"
+    disable = []                      # rule codes to turn off globally
+
+    [tool.replint.rules.RPL002]
+    exempt = ["*/cli.py", "*/benchmarks/*", "*/examples/*"]
+
+Per-rule tables may override ``scope`` (replaces the rule's default
+glob list), add ``exempt`` patterns, or set ``severity``.  Python 3.11+
+reads the file with :mod:`tomllib`; on older interpreters a minimal
+built-in parser handles the subset of TOML this config uses, so the
+linter works everywhere the package does without new dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.findings import Severity
+from repro.lint.registry import LintRuleError
+
+try:  # Python 3.11+
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - depends on interpreter
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        _toml = None  # type: ignore[assignment]
+
+DEFAULT_BASELINE = ".replint-baseline.json"
+DEFAULT_EXCLUDE = ("*/__pycache__/*", "*/.git/*", "*/build/*", "*/dist/*")
+
+
+def _parse_toml_subset(text: str) -> Dict[str, object]:
+    """Minimal TOML reader for the ``[tool.replint*]`` tables.
+
+    Supports table headers, string/bool/int scalars, and single-line
+    string arrays — exactly what the lint config uses.  Lines it cannot
+    interpret are skipped rather than fatal, since this fallback only
+    exists for interpreters without :mod:`tomllib`.
+    """
+    root: Dict[str, object] = {}
+    current = root
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = root
+            for part in line[1:-1].strip().strip('"').split("."):
+                current = current.setdefault(part.strip(), {})  # type: ignore[assignment]
+            continue
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.split("#", 1)[0].strip() if not value.strip().startswith("[") else value.strip()
+        parsed = _parse_scalar_or_array(value)
+        if parsed is not _SKIP:
+            current[key] = parsed  # type: ignore[index]
+    return root
+
+
+_SKIP = object()
+
+
+def _parse_scalar_or_array(value: str) -> object:
+    value = value.strip()
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        return [
+            _parse_scalar_or_array(item)
+            for item in _split_array_items(inner)
+        ]
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        return value[1:-1]
+    if value.startswith("'") and value.endswith("'") and len(value) >= 2:
+        return value[1:-1]
+    if value in ("true", "false"):
+        return value == "true"
+    try:
+        return int(value)
+    except ValueError:
+        return _SKIP
+
+
+def _split_array_items(inner: str) -> List[str]:
+    items: List[str] = []
+    depth = 0
+    quote = ""
+    start = 0
+    for i, ch in enumerate(inner):
+        if quote:
+            if ch == quote:
+                quote = ""
+            continue
+        if ch in "\"'":
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            items.append(inner[start:i])
+            start = i + 1
+    tail = inner[start:].strip()
+    if tail:
+        items.append(tail)
+    return items
+
+
+@dataclass
+class RuleOverride:
+    """Per-rule settings from ``[tool.replint.rules.<CODE>]``."""
+
+    scope: Optional[List[str]] = None
+    exempt: List[str] = field(default_factory=list)
+    severity: Optional[Severity] = None
+
+
+@dataclass
+class LintConfig:
+    """Resolved linter configuration."""
+
+    root: str = "."
+    paths: List[str] = field(default_factory=lambda: ["src"])
+    exclude: List[str] = field(default_factory=lambda: list(DEFAULT_EXCLUDE))
+    baseline_path: str = DEFAULT_BASELINE
+    disabled: List[str] = field(default_factory=list)
+    overrides: Dict[str, RuleOverride] = field(default_factory=dict)
+
+    def override_for(self, code: str) -> RuleOverride:
+        return self.overrides.get(code, RuleOverride())
+
+    def rule_enabled(self, code: str) -> bool:
+        return code not in self.disabled
+
+    @classmethod
+    def load(cls, root: str = ".") -> "LintConfig":
+        """Read ``pyproject.toml`` under ``root``; defaults if absent."""
+        config = cls(root=root)
+        pyproject = os.path.join(root, "pyproject.toml")
+        if not os.path.isfile(pyproject):
+            return config
+        with open(pyproject, "rb") as fh:
+            raw = fh.read()
+        if _toml is not None:
+            try:
+                data = _toml.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                # TOMLDecodeError and UnicodeDecodeError both derive
+                # from ValueError.
+                raise LintRuleError(f"cannot parse {pyproject}: {exc}") from exc
+        else:
+            data = _parse_toml_subset(raw.decode("utf-8"))
+        section = data.get("tool", {}).get("replint", {})
+        if not isinstance(section, dict):
+            return config
+        config.paths = _str_list(section.get("paths"), config.paths)
+        config.exclude = _str_list(section.get("exclude"), config.exclude)
+        baseline = section.get("baseline")
+        if isinstance(baseline, str) and baseline:
+            config.baseline_path = baseline
+        config.disabled = _str_list(section.get("disable"), [])
+        rules = section.get("rules", {})
+        if isinstance(rules, dict):
+            for code, table in rules.items():
+                if not isinstance(table, dict):
+                    continue
+                override = RuleOverride()
+                if "scope" in table:
+                    override.scope = _str_list(table.get("scope"), [])
+                override.exempt = _str_list(table.get("exempt"), [])
+                severity = table.get("severity")
+                if isinstance(severity, str):
+                    try:
+                        override.severity = Severity(severity)
+                    except ValueError:
+                        raise LintRuleError(
+                            f"invalid severity {severity!r} for {code}"
+                        ) from None
+                config.overrides[code] = override
+        return config
+
+
+def _str_list(value: object, default: List[str]) -> List[str]:
+    if isinstance(value, list) and all(isinstance(v, str) for v in value):
+        return list(value)
+    return list(default)

@@ -1,0 +1,156 @@
+"""Rule base class and registry.
+
+A rule is a class with a unique ``code`` (``RPLnnn``), a default
+severity, a one-line description, and optional path scoping.  Rules
+declare interest in AST node types by defining ``visit_<NodeType>``
+methods — the visitor framework discovers them by introspection, so a
+rule never subclasses :class:`ast.NodeVisitor` and the whole rule pack
+runs in a single pass over each file's tree.
+
+Registering is one decorator::
+
+    @rule
+    class NoFrobnication(BaseRule):
+        code = "RPL042"
+        description = "frobnication is non-deterministic"
+
+        def visit_Call(self, node):
+            ...
+            self.report(node, "do not frobnicate here")
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding, Severity
+
+
+class LintRuleError(ReproError):
+    """A rule or the lint configuration is malformed."""
+
+
+class BaseRule:
+    """Base class for all lint rules.
+
+    Subclasses set the class attributes and implement ``visit_*``
+    methods.  One instance is created per linted file; ``self.path``,
+    ``self.lines`` and ``self.tree`` describe the file being visited
+    and :meth:`report` records a finding at a node's location.
+
+    ``scope`` is a tuple of ``fnmatch`` glob patterns; empty means the
+    rule applies to every file.  ``exempt`` patterns carve files out of
+    an otherwise matching scope (e.g. CLI entry points for the
+    wall-clock rule).  Both can be overridden per-rule from
+    ``pyproject.toml``.
+    """
+
+    code: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    scope: Tuple[str, ...] = ()
+    exempt: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.path: str = "<unknown>"
+        self.lines: Sequence[str] = ()
+        self.tree: Optional[ast.AST] = None
+        self._sink: Optional[Callable[[Finding], None]] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(
+        self,
+        path: str,
+        lines: Sequence[str],
+        tree: ast.AST,
+        sink: Callable[[Finding], None],
+    ) -> None:
+        """Attach this instance to one file before visiting starts."""
+        self.path = path
+        self.lines = lines
+        self.tree = tree
+        self._sink = sink
+
+    def enter_file(self) -> None:
+        """Hook called before the walk; override for per-file setup."""
+
+    def leave_file(self) -> None:
+        """Hook called after the walk; override for whole-file checks."""
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self, node: ast.AST, message: str) -> None:
+        if self._sink is None:
+            raise LintRuleError(f"{self.code} reported outside a lint run")
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        text = ""
+        if 1 <= line <= len(self.lines):
+            text = self.lines[line - 1].strip()
+        self._sink(
+            Finding(
+                path=self.path,
+                line=line,
+                col=col,
+                code=self.code,
+                severity=self.severity,
+                message=message,
+                source_line=text,
+            )
+        )
+
+    # -- scoping --------------------------------------------------------
+
+    @classmethod
+    def applies_to(
+        cls,
+        path: str,
+        scope: Optional[Sequence[str]] = None,
+        exempt: Optional[Sequence[str]] = None,
+    ) -> bool:
+        """Whether this rule runs on ``path`` (posix-style, relative)."""
+        effective_scope = tuple(scope) if scope is not None else cls.scope
+        effective_exempt = tuple(exempt) if exempt is not None else cls.exempt
+        norm = path.replace("\\", "/")
+        for pattern in effective_exempt:
+            if fnmatch.fnmatch(norm, pattern):
+                return False
+        if not effective_scope:
+            return True
+        return any(
+            fnmatch.fnmatch(norm, pattern) for pattern in effective_scope
+        )
+
+
+_REGISTRY: Dict[str, Type[BaseRule]] = {}
+
+
+def rule(cls: Type[BaseRule]) -> Type[BaseRule]:
+    """Class decorator: register a rule under its ``code``."""
+    if not cls.code:
+        raise LintRuleError(f"{cls.__name__} has no rule code")
+    if cls.code in _REGISTRY and _REGISTRY[cls.code] is not cls:
+        raise LintRuleError(f"duplicate rule code {cls.code}")
+    if not cls.description:
+        raise LintRuleError(f"{cls.code} has no description")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Type[BaseRule]]:
+    """Every registered rule class, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Type[BaseRule]:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise LintRuleError(
+            f"unknown rule code {code!r}; known: {known}"
+        ) from None

@@ -1,0 +1,49 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON shape is stable for CI consumption: a ``findings`` array of
+:meth:`Finding.to_dict` objects plus a ``summary`` object, so a
+workflow can both fail on ``summary.new_errors > 0`` and archive the
+full finding list as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Severity
+
+
+def format_text(result: LintResult) -> str:
+    lines = [f.format() for f in result.findings]
+    error_count = len(result.errors)
+    warning_count = len(result.findings) - error_count
+    summary = (
+        f"{result.files_checked} files checked: "
+        f"{error_count} error(s), {warning_count} warning(s)"
+    )
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    if not result.findings and not result.baselined:
+        summary += " — clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "summary": {
+            "files_checked": result.files_checked,
+            "new_findings": len(result.findings),
+            "new_errors": sum(
+                1
+                for f in result.findings
+                if f.severity is Severity.ERROR
+            ),
+            "baselined": len(result.baselined),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

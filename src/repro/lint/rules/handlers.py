@@ -1,0 +1,81 @@
+"""RPL003: broad exception handlers erode the error taxonomy.
+
+PR 1 introduced a typed hierarchy under :mod:`repro.errors` precisely
+so callers can absorb *library* failures without also absorbing
+``TypeError``/``KeyError`` programming bugs.  A ``except Exception``
+that swallows (does not re-raise) undoes that: the next refactor's
+bug disappears into a quarantine queue instead of failing a test.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import BaseRule, rule
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _names_in_handler_type(node: ast.AST) -> list:
+    """The exception class names a handler catches (Name nodes only)."""
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Tuple):
+        names = []
+        for elt in node.elts:
+            names.extend(_names_in_handler_type(elt))
+        return names
+    return []
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``.
+
+    ``raise SomethingElse(...)`` does not count: translating into a
+    *typed* error is legitimate, but then the handler should catch the
+    specific type it translates, not ``Exception``.  A bare ``raise``
+    propagates the original, so the breadth is harmless (e.g. a
+    record-metrics-then-rethrow wrapper).
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@rule
+class BroadExceptionHandler(BaseRule):
+    """RPL003: bare/broad except clauses must re-raise.
+
+    Flags ``except:`` and ``except (Base)Exception`` handlers with no
+    bare ``raise`` in their body.  The fix is almost always to catch
+    the :mod:`repro.errors` type (or stdlib type) the code actually
+    expects — the two seed-era offenders absorbed ``ValueError`` and
+    operational transport failures respectively.
+    """
+
+    code = "RPL003"
+    description = "broad exception handler that does not re-raise"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            if not _reraises(node):
+                self.report(
+                    node,
+                    "bare 'except:' swallows every error including "
+                    "KeyboardInterrupt; catch a specific repro.errors "
+                    "type or re-raise",
+                )
+            return
+        broad = [
+            name
+            for name in _names_in_handler_type(node.type)
+            if name in _BROAD_NAMES
+        ]
+        if broad and not _reraises(node):
+            self.report(
+                node,
+                f"'except {broad[0]}' absorbs programming errors along "
+                "with operational ones; narrow it to the repro.errors "
+                "(or stdlib) types this code actually expects",
+            )

@@ -1,0 +1,49 @@
+"""RPL004: float-literal equality in the statistics kernels.
+
+``sxx == 0.0`` is true only when cancellation is *exactly* total; a
+near-degenerate input (all x within one ulp) sails past the guard and
+detonates in the division a line later.  The statistics modules back
+every figure, so they get the strict rule: compare floats with
+``math.isclose`` or an explicit epsilon.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import BaseRule, rule
+from repro.lint.rules.common import is_float_literal
+
+
+@rule
+class FloatLiteralEquality(BaseRule):
+    """RPL004: ``==`` / ``!=`` against a float literal in ``stats/``.
+
+    Integer literals are deliberately not flagged — ``n == 0`` on a
+    count is exact — and neither are comparisons between two names,
+    where the author may have arranged exact propagation.  The float
+    literal is the reliable tell of a degenerate-case guard that
+    should be an epsilon test.
+    """
+
+    code = "RPL004"
+    description = "float-literal equality comparison in statistics code"
+    scope = ("*/stats/*",)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            literal = next(
+                (n for n in (left, right) if is_float_literal(n)), None
+            )
+            if literal is not None:
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    node,
+                    f"float equality '{symbol} {literal.value!r}' is "
+                    "brittle under rounding; use math.isclose or an "
+                    "explicit epsilon guard",
+                )

@@ -1,0 +1,95 @@
+"""RPL006: set iteration order must not reach ordered figure output.
+
+Python sets iterate in hash order, which varies with insertion history
+and (for strings, across interpreter configs) hashing — so a figure
+row list built by iterating a set is not reproducible even under a
+fixed seed.  The rule is scoped to the figure/experiment layer, where
+every emitted row sequence is part of the artifact.
+
+The check is syntactic: it flags expressions that are *visibly* sets
+(literals, ``set(...)``/``frozenset(...)`` calls) flowing into ordered
+constructs — ``for`` loops, comprehensions, ``list``/``tuple``/
+``enumerate`` conversions, and ``str.join``.  Wrapping in ``sorted()``
+(or any explicit ordering) silences it.  Sets reaching loops through
+variables are out of reach for a single-file AST pass; the scoped
+modules are written to sort at the point of iteration, which this
+rule locks in.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import BaseRule, rule
+
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@rule
+class SetIterationOrder(BaseRule):
+    """RPL006: iterating a set into ordered output in figure code."""
+
+    code = "RPL006"
+    description = "set iteration order leaks into ordered figure output"
+    scope = ("*/figures.py", "*/experiments.py")
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self.report(
+                node,
+                "for-loop iterates a set in hash order; wrap the "
+                "iterable in sorted() to pin row order",
+            )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_generators(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_generators(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_generators(node)
+
+    def _check_generators(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            if _is_set_expr(gen.iter):
+                self.report(
+                    node,
+                    "comprehension iterates a set in hash order; wrap "
+                    "the iterable in sorted()",
+                )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDERED_CONSUMERS
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self.report(
+                node,
+                f"{node.func.id}() over a set preserves hash order; "
+                "use sorted() to pin element order",
+            )
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            self.report(
+                node,
+                "str.join over a set emits elements in hash order; "
+                "join sorted(...) instead",
+            )

@@ -1,0 +1,120 @@
+"""RPL005: unit-suffix discipline in arithmetic.
+
+The codebase names quantities with unit suffixes (``bitrate_kbps``,
+``playing_seconds``, ``view_duration_hours``) and centralizes
+conversions in :mod:`repro.units`.  Adding or subtracting two
+identifiers whose suffixes name *different* units is therefore almost
+certainly a missing conversion — the exact bug class the paper's
+mixed-unit figures (kbps bitrates, TB storage, view-hours) invite.
+Multiplication and division are never flagged: they legitimately
+change units (``kbps * seconds`` is a storage footprint).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.registry import BaseRule, rule
+
+# Suffix -> canonical unit.  Aliases map to one canon so `_s + _seconds`
+# is fine while `_ms + _s` is a missing conversion.  The families mirror
+# repro.units: time (ms/s/min/h), rates (bps/kbps/mbps), storage (bytes/tb).
+_SUFFIX_UNITS = {
+    "ms": "ms",
+    "msec": "ms",
+    "msecs": "ms",
+    "millis": "ms",
+    "s": "s",
+    "sec": "s",
+    "secs": "s",
+    "second": "s",
+    "seconds": "s",
+    "min": "min",
+    "mins": "min",
+    "minute": "min",
+    "minutes": "min",
+    "h": "h",
+    "hr": "h",
+    "hrs": "h",
+    "hour": "h",
+    "hours": "h",
+    "bps": "bps",
+    "kbps": "kbps",
+    "mbps": "mbps",
+    "byte": "bytes",
+    "bytes": "bytes",
+    "tb": "tb",
+}
+
+# Whole identifiers that *are* a unit name (no underscore needed); the
+# short time tokens are excluded — `s` and `h` are ordinary variables.
+_BARE_UNIT_NAMES = frozenset({"bps", "kbps", "mbps"})
+
+
+def _suffix_unit(name: str) -> Optional[str]:
+    lowered = name.lower()
+    if lowered in _BARE_UNIT_NAMES:
+        return _SUFFIX_UNITS[lowered]
+    if "_" not in lowered:
+        return None
+    suffix = lowered.rsplit("_", 1)[1]
+    return _SUFFIX_UNITS.get(suffix)
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    """The unit an expression carries, where statically inferable."""
+    if isinstance(node, ast.Name):
+        return _suffix_unit(node.id)
+    if isinstance(node, ast.Attribute):
+        return _suffix_unit(node.attr)
+    if isinstance(node, ast.Subscript):
+        return _unit_of(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return _unit_of(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = _unit_of(node.left)
+        right = _unit_of(node.right)
+        # A consistent sum carries its operands' unit; a mixed one is
+        # already reported at the inner node, so stay silent here.
+        if left is not None and left == right:
+            return left
+        return None
+    return None
+
+
+@rule
+class ConflictingUnitSuffixes(BaseRule):
+    """RPL005: ``+``/``-`` across identifiers with different unit suffixes.
+
+    Both sides must carry a *recognized* suffix for a finding — an
+    unsuffixed name yields no evidence either way, which keeps the
+    rule quiet on generic arithmetic.  Scale conversions belong in
+    :mod:`repro.units`; the fix is to convert one operand explicitly.
+    """
+
+    code = "RPL005"
+    description = "arithmetic mixes identifiers with conflicting unit suffixes"
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        self._check(node, node.left, node.right)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        self._check(node, node.target, node.value)
+
+    def _check(self, node: ast.AST, left: ast.AST, right: ast.AST) -> None:
+        left_unit = _unit_of(left)
+        right_unit = _unit_of(right)
+        if left_unit is None or right_unit is None:
+            return
+        if left_unit != right_unit:
+            self.report(
+                node,
+                f"adding/subtracting {left_unit!r} and {right_unit!r} "
+                "quantities without a conversion; route one operand "
+                "through repro.units",
+            )

@@ -125,8 +125,12 @@ class HDSParser(ManifestParser):
             return 0.0
         try:
             decoded = base64.b64decode(bootstrap.text.strip()).decode()
-        except Exception as exc:  # malformed base64 payload
-            raise ManifestParseError(f"bad bootstrapInfo payload: {exc}")
+        except ValueError as exc:
+            # binascii.Error (bad base64) and UnicodeDecodeError (bytes
+            # that aren't text) are both ValueError subclasses.
+            raise ManifestParseError(
+                f"bad bootstrapInfo payload: {exc}"
+            ) from exc
         parts = decoded.split(":")
         if len(parts) != 3 or parts[0] != "abst":
             raise ManifestParseError(

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Tuple, Type, TypeVar
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
+    ReproError,
     ResilienceError,
     RetryExhaustedError,
 )
@@ -136,6 +137,15 @@ class CircuitBreaker:
     ``recovery_timeout`` seconds (per the injectable ``clock``) the next
     ``allow()`` transitions to half-open and admits one probe call.  A
     success closes the circuit, a failure re-opens it.
+
+    Only *operational* failures trip the breaker: by default
+    :class:`~repro.errors.ReproError` (which covers every transport
+    and delivery error this library raises) plus ``OSError`` for raw
+    socket/file failures from user-supplied callables.  Programming
+    errors — ``TypeError``, ``KeyError`` and friends — propagate
+    without touching the failure count, so a code bug cannot mask
+    itself as a downed dependency.  Pass ``failure_types`` to widen or
+    narrow the set.
     """
 
     def __init__(
@@ -143,6 +153,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         recovery_timeout: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        failure_types: Tuple[Type[BaseException], ...] = (ReproError, OSError),
     ) -> None:
         if failure_threshold < 1:
             raise ResilienceError("failure_threshold must be >= 1")
@@ -150,6 +161,7 @@ class CircuitBreaker:
             raise ResilienceError("recovery_timeout must be >= 0")
         self.failure_threshold = failure_threshold
         self.recovery_timeout = recovery_timeout
+        self.failure_types = failure_types
         self._clock = clock
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
@@ -195,7 +207,7 @@ class CircuitBreaker:
             )
         try:
             result = fn()
-        except Exception:
+        except self.failure_types:
             self.record_failure()
             raise
         self.record_success()

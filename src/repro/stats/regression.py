@@ -121,6 +121,25 @@ def t_sf(t: float, df: float) -> float:
     return p
 
 
+_EPS = float(np.finfo(float).eps)
+
+
+def _degenerate_spread(values: np.ndarray, sum_sq_dev: float) -> bool:
+    """Whether a sum of squared deviations is zero up to rounding.
+
+    Inputs that differ only in the last few ulps produce a tiny but
+    nonzero sum of squares; exact ``== 0.0`` guards miss them and the
+    slope/r² arithmetic downstream then amplifies pure rounding noise.
+    The tolerance scales with the data magnitude and count: deviations
+    up to ~8 ulps of the largest value are considered degenerate.
+    """
+    if values.size == 0:
+        return True
+    scale = max(1.0, float(np.max(np.abs(values))))
+    tol = values.size * (8.0 * _EPS * scale) ** 2
+    return sum_sq_dev <= tol
+
+
 def fit_loglog(xs: Iterable[float], ys: Iterable[float]) -> LogLogFit:
     """Fit ``log10(y) ~ log10(x)`` by OLS and test slope != 0.
 
@@ -141,7 +160,7 @@ def fit_loglog(xs: Iterable[float], ys: Iterable[float]) -> LogLogFit:
     mx = lx.mean()
     my = ly.mean()
     sxx = float(np.sum((lx - mx) ** 2))
-    if sxx == 0.0:
+    if _degenerate_spread(lx, sxx):
         raise ValueError("x values are all identical; slope is undefined")
     sxy = float(np.sum((lx - mx) * (ly - my)))
     slope = sxy / sxx
@@ -149,9 +168,13 @@ def fit_loglog(xs: Iterable[float], ys: Iterable[float]) -> LogLogFit:
     resid = ly - (intercept + slope * lx)
     ss_res = float(np.sum(resid**2))
     ss_tot = float(np.sum((ly - my) ** 2))
-    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    if _degenerate_spread(ly, ss_tot):
+        # y is constant up to rounding: the flat fit is exact.
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - ss_res / ss_tot
     df = n - 2
-    if ss_res <= 0.0:
+    if ss_res <= 0.0 or math.isclose(ss_res, 0.0, abs_tol=_EPS * n):
         p_value = 0.0
     else:
         se_slope = math.sqrt(ss_res / df / sxx)

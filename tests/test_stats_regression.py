@@ -81,6 +81,42 @@ class TestValidation:
             fit_loglog([1, 2, 3], [1, 2])
 
 
+class TestNearDegenerateInputs:
+    """Inputs that defeat exact ``== 0.0`` guards (RPL004 cleanup).
+
+    Values differing only in the last few ulps produce tiny-but-nonzero
+    sums of squares; the epsilon guards must treat them as degenerate
+    rather than amplifying rounding noise into slopes and r² values.
+    """
+
+    def test_x_identical_within_rounding_rejected(self):
+        xs = [7.0 * (1.0 + k * 2**-52) for k in range(4)]
+        assert len(set(xs)) > 1  # genuinely distinct floats
+        with pytest.raises(ValueError):
+            fit_loglog(xs, [1.0, 2.0, 3.0, 4.0])
+
+    def test_y_constant_within_rounding_is_perfect_flat_fit(self):
+        xs = [1.0, 10.0, 100.0, 1000.0]
+        ys = [5.0 * (1.0 + k * 2**-52) for k in range(4)]
+        fit = fit_loglog(xs, ys)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(0.0, abs=1e-12)
+        assert math.isfinite(fit.p_value)
+        assert 0.0 <= fit.p_value <= 1.0
+
+    def test_exactly_constant_y_unchanged(self):
+        fit = fit_loglog([1, 10, 100], [5.0, 5.0, 5.0])
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_far_from_degenerate_unaffected(self):
+        xs = [1, 10, 100, 1000]
+        ys = [2 * x**0.5 for x in xs]
+        fit = fit_loglog(xs, ys)
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+
 class TestStudentT:
     def test_symmetry(self):
         assert t_sf(0.0, 10) == pytest.approx(0.5)

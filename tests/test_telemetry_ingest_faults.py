@@ -11,7 +11,12 @@ from datetime import date
 import pytest
 
 from repro.constants import ContentType
-from repro.errors import DatasetError, IngestError, TransportError
+from repro.errors import (
+    CircuitOpenError,
+    DatasetError,
+    IngestError,
+    TransportError,
+)
 from repro.resilience import CircuitBreaker, CircuitState, retry_with_backoff
 from repro.telemetry.events import (
     Heartbeat,
@@ -411,7 +416,7 @@ class TestFlakyTransportResilience:
                 breaker.call(transport)
             except TransportError:
                 outcomes.append("transport")
-            except Exception as exc:
+            except CircuitOpenError as exc:
                 outcomes.append(type(exc).__name__)
         assert breaker.state is CircuitState.OPEN
         # After 3 real failures the breaker short-circuits the rest.
