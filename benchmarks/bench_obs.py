@@ -1,0 +1,103 @@
+"""Observability benchmark: span timings for the whole pipeline.
+
+Runs the generate -> ingest -> figures pipeline once with the obs
+layer enabled and writes the per-stage span rollup to
+``BENCH_obs.json`` at the repo root — the perf-trajectory artifact CI
+uploads so stage regressions across PRs diff like-for-like.  A second
+test bounds the disabled-path overhead: with obs off, the instrumented
+pipeline must record nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import save_lines
+from repro import figures, obs
+from repro.synthesis.calibration import EcosystemConfig
+from repro.synthesis.generator import EcosystemGenerator
+from repro.telemetry.faults import FaultInjector, FaultMix
+from repro.telemetry.ingest import IngestPipeline, events_from_records
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_obs.json"
+
+CONFIG = EcosystemConfig(seed=2018, snapshot_limit=6)
+FIGURES = ("F2a", "F13", "S44")
+
+
+def _run_pipeline():
+    result = EcosystemGenerator(CONFIG).generate()
+    records = [
+        r
+        for r in result.dataset.records
+        if r.view_duration_hours > 0 and r.rebuffer_ratio < 1.0
+    ][:200]
+    events = FaultInjector(FaultMix.uniform(0.2), seed=7).apply(
+        list(events_from_records(records))
+    )
+    report = IngestPipeline(
+        "quarantine", metrics=obs.metrics()
+    ).run(events)
+    rows = {fid: figures.run_figure(fid, result) for fid in FIGURES}
+    return result, report, rows
+
+
+def test_pipeline_spans_to_bench_obs(benchmark):
+    ctx = obs.configure(enabled=True)
+    ctx.reset()
+    try:
+        result, report, rows = benchmark.pedantic(
+            _run_pipeline, rounds=1, iterations=1
+        )
+        payload = obs.bench_payload(
+            ctx.tracer.finished,
+            registry=ctx.registry,
+            meta={
+                "seed": CONFIG.seed,
+                "snapshot_limit": CONFIG.snapshot_limit,
+                "figures": list(FIGURES),
+            },
+        )
+        # Read the report before the reset below zeroes the shared
+        # instruments it aliases.
+        total_events = report.total_events
+    finally:
+        ctx.configure(enabled=False)
+        ctx.reset()
+
+    BENCH_PATH.write_text(obs.to_json(payload))
+    stages = payload["stages"]
+    assert "synthesis.generate" in stages
+    assert "ingest.batch" in stages
+    assert stages["figure.run"]["calls"] == len(FIGURES)
+    assert total_events > 0
+    assert all(rows.values())
+    save_lines(
+        "obs_pipeline",
+        [f"wrote {BENCH_PATH.name} with {len(stages)} stages:"]
+        + [
+            f"  {name}: calls={int(stage['calls'])} "
+            f"total={stage['total_s']:.3f}s"
+            for name, stage in sorted(stages.items())
+        ],
+    )
+    # The artifact must parse back and keep its schema marker.
+    assert json.loads(BENCH_PATH.read_text())["schema"] == 1
+
+
+def test_disabled_path_records_nothing(benchmark):
+    """Obs off (the default) must leave zero trace of the run."""
+    ctx = obs.get_context()
+    assert not ctx.enabled
+    before_spans = len(ctx.tracer.finished)
+
+    config = EcosystemConfig(
+        seed=3, snapshot_limit=2, n_publishers=24, records_scale=0.2,
+        qoe_sessions=10,
+    )
+    result = benchmark.pedantic(
+        EcosystemGenerator(config).generate, rounds=1, iterations=1
+    )
+    assert len(result.dataset) > 100
+    assert len(ctx.tracer.finished) == before_spans

@@ -7,10 +7,15 @@
     repro figures                # list ids
     repro summary [--seed N]     # §4.4 roll-up
     repro ingest --policy quarantine --fault-rate 0.2   # robustness demo
+    repro metrics                # instrument taxonomy + snapshot
 
 Figures that need generator ground truth (catalogue sizes, the case
 study) regenerate the ecosystem from the seed; pure-dataset figures can
 run against a saved dataset file.
+
+Every subcommand accepts ``--trace`` (print the span tree of the run)
+and ``--metrics-out PATH`` (write the metrics snapshot as JSON); either
+flag switches the :mod:`repro.obs` layer on for the process.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import figures
+from repro import figures, obs
 from repro.core.report import format_table
 from repro.errors import DatasetError
 from repro.synthesis.calibration import EcosystemConfig
@@ -27,6 +32,29 @@ from repro.synthesis.generator import EcosystemGenerator, EcosystemResult
 from repro.telemetry.backend import TelemetryBackend
 from repro.telemetry.faults import FaultInjector, FaultMix
 from repro.telemetry.ingest import ErrorPolicy, events_from_records
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans and print the span tree after the command",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics snapshot (and spans, with --trace) as JSON",
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log events to stderr",
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,31 +65,56 @@ def _build_parser() -> argparse.ArgumentParser:
             "(IMC 2018)"
         ),
     )
+    obs_parent = _obs_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser(
-        "generate", help="generate a synthetic dataset and save it"
+        "generate",
+        help="generate a synthetic dataset and save it",
+        parents=[obs_parent],
     )
     generate.add_argument("--out", required=True, help="output .jsonl[.gz]")
     _add_generator_args(generate)
 
-    fig = sub.add_parser("figure", help="regenerate one figure/table")
+    fig = sub.add_parser(
+        "figure", help="regenerate one figure/table", parents=[obs_parent]
+    )
     fig.add_argument("figure_id", help="e.g. F2a, F13, T1 (see `figures`)")
     _add_generator_args(fig)
 
-    sub.add_parser("figures", help="list known figure ids")
+    sub.add_parser(
+        "figures", help="list known figure ids", parents=[obs_parent]
+    )
 
-    summary = sub.add_parser("summary", help="print the §4.4 roll-up")
+    summary = sub.add_parser(
+        "summary", help="print the §4.4 roll-up", parents=[obs_parent]
+    )
     _add_generator_args(summary)
 
     experiments = sub.add_parser(
-        "experiments", help="paper-vs-measured verification report"
+        "experiments",
+        help="paper-vs-measured verification report",
+        parents=[obs_parent],
     )
     _add_generator_args(experiments)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="dump the obs instrument taxonomy and current snapshot",
+        parents=[obs_parent],
+    )
+    metrics.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="taxonomy output format (default: text)",
+    )
 
     ingest = sub.add_parser(
         "ingest",
         help="fault-injected event ingestion demo (robustness path)",
+        parents=[obs_parent],
     )
     _add_generator_args(ingest)
     ingest.add_argument(
@@ -151,6 +204,41 @@ def _generate(args: argparse.Namespace) -> EcosystemResult:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
+    trace = getattr(args, "trace", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    log_json = getattr(args, "log_json", False)
+    obs_on = bool(
+        trace or metrics_out or log_json or args.command == "metrics"
+    )
+    if obs_on:
+        obs.configure(
+            enabled=True,
+            seed=getattr(args, "seed", None),
+            log_stream=sys.stderr if log_json else None,
+        )
+    try:
+        code = _dispatch(args)
+    finally:
+        if obs_on:
+            spans = obs.tracer().finished
+            if trace and spans:
+                print(obs.render_tree(spans), file=sys.stderr)
+            if metrics_out:
+                obs.write_snapshot(
+                    metrics_out,
+                    obs.metrics(),
+                    spans=spans if trace else (),
+                    meta={
+                        "command": args.command,
+                        "seed": getattr(args, "seed", None),
+                    },
+                )
+                print(f"wrote metrics snapshot to {metrics_out}",
+                      file=sys.stderr)
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figures":
         for figure_id in figures.figure_ids():
             print(f"{figure_id:6s} {figures.describe(figure_id)}")
@@ -195,10 +283,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "ingest":
         return _ingest(args)
 
+    if args.command == "metrics":
+        return _metrics(args)
+
     if args.command == "lint":
         return _lint(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _metrics(args: argparse.Namespace) -> int:
+    """Dump the instrument taxonomy plus the live registry snapshot."""
+    import json
+
+    from repro.obs.instruments import CATALOG
+
+    snapshot = obs.metrics().snapshot()
+    if args.output_format == "json":
+        payload = {
+            "catalog": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "description": spec.description,
+                    "labels": list(spec.labels),
+                }
+                for spec in CATALOG
+            ],
+            "snapshot": snapshot,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        {
+            "instrument": spec.name,
+            "kind": spec.kind,
+            "labels": ",".join(spec.labels) or "-",
+            "description": spec.description,
+        }
+        for spec in CATALOG
+    ]
+    print(format_table(rows))
+    populated = sum(len(section) for section in snapshot.values())
+    print(f"\n{len(rows)} instruments in catalog; "
+          f"{populated} series populated this process")
+    return 0
 
 
 def _lint(args: argparse.Namespace) -> int:
@@ -253,8 +382,14 @@ def _ingest(args: argparse.Namespace) -> int:
     injector = FaultInjector(mix, seed=args.fault_seed)
     corrupted = injector.apply(events)
     backend = TelemetryBackend()
+    # When observability is on, the pipeline counts into the global
+    # registry so a --metrics-out snapshot and the printed report are
+    # literally the same instruments.
+    metrics = obs.metrics() if obs.enabled() else None
     try:
-        report = backend.ingest_events(corrupted, policy=args.policy)
+        report = backend.ingest_events(
+            corrupted, policy=args.policy, metrics=metrics
+        )
     except DatasetError as exc:
         print(f"strict ingestion aborted: {exc}", file=sys.stderr)
         return 1

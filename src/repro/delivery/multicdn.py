@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.constants import ContentType
 from repro.entities.cdn import CdnAssignment
 from repro.errors import DeliveryError, RetryExhaustedError, TransportError
@@ -248,6 +249,7 @@ class ResilientFetcher:
                 failure_threshold=self.failure_threshold,
                 recovery_timeout=self.recovery_timeout,
                 clock=self._clock,
+                name=f"cdn:{cdn_name}",
             )
         return self._breakers[cdn_name]
 
@@ -273,6 +275,7 @@ class ResilientFetcher:
             breaker = self.breaker(name)
             if not breaker.allow():
                 breaker.rejected_calls += 1
+                obs.counter("multicdn.circuit_skipped", cdn=name).inc()
                 skipped.append(name)
                 continue
             try:
@@ -287,9 +290,17 @@ class ResilientFetcher:
                 breaker.record_failure()
                 attempts_total += exc.attempts
                 failed.append(name)
+                obs.counter("multicdn.failover", cdn=name).inc()
+                obs.emit(
+                    "multicdn.failover",
+                    cdn=name,
+                    attempts=exc.attempts,
+                    content_type=content_type.value,
+                )
                 continue
             breaker.record_success()
             attempts_total += 1
+            obs.counter("multicdn.served", cdn=name).inc()
             return FailoverOutcome(
                 cdn_name=name,
                 value=value,
@@ -297,6 +308,7 @@ class ResilientFetcher:
                 failed_cdns=tuple(failed),
                 skipped_open_circuits=tuple(skipped),
             )
+        obs.counter("multicdn.exhausted").inc()
         raise DeliveryError(
             "all eligible CDNs failed "
             f"(failed={failed}, circuit-open={skipped})"

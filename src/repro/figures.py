@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping
 
+from repro import obs
 from repro.constants import (
     HTTP_ADAPTIVE_PROTOCOLS,
     Platform,
@@ -73,7 +74,11 @@ def run_figure(figure_id: str, result: EcosystemResult) -> Rows:
         raise AnalysisError(
             f"unknown figure {figure_id!r}; known: {', '.join(figure_ids())}"
         ) from None
-    return fn(result)
+    with obs.span("figure.run", figure=figure_id) as sp:
+        obs.counter("figure.runs", figure=figure_id).inc()
+        rows = fn(result)
+        sp.set(rows=len(rows))
+    return rows
 
 
 # ---------------------------------------------------------------------------

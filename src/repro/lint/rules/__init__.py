@@ -8,6 +8,7 @@ module per invariant family:
 - :mod:`numerics` — RPL004 float-literal equality
 - :mod:`unit_suffixes` — RPL005 conflicting unit suffixes
 - :mod:`ordering` — RPL006 set-iteration order dependence
+- :mod:`obs_hygiene` — RPL007 obs-layer bypass in instrumented modules
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     determinism,
     handlers,
     numerics,
+    obs_hygiene,
     ordering,
     unit_suffixes,
 )

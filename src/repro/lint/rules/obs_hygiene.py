@@ -1,0 +1,75 @@
+"""RPL007: instrumented modules must speak through ``repro.obs``.
+
+The observability layer only stays deterministic and silenceable if it
+is the *single* door to the wall clock and to ad-hoc output.  A stray
+``time.monotonic()`` bypasses the injectable :class:`repro.obs.clock.
+Clock` (fake clocks in tests stop working); a stray ``print()``
+bypasses the structured JSON logger (events lose their span id and
+seed, and can't be switched off).  This rule keeps both out of the
+modules the obs layer instruments.
+
+``repro/obs/clock.py`` is the one legal door to :mod:`time` and is
+exempt by construction.  Referencing a time function without calling
+it (``clock: Callable = time.monotonic``) stays legal everywhere —
+that *is* the injection pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import BaseRule, rule
+from repro.lint.rules.common import dotted_name
+
+# Monotonic/wall clock calls that must route through obs.clock.  The
+# wall-clock pair overlaps RPL002 on purpose: inside instrumented
+# modules the fix is different (use the injected Clock), so the rule
+# points at the right door.
+_TIME_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
+
+
+@rule
+class ObsBypass(BaseRule):
+    """RPL007: no direct clock reads or prints in instrumented modules."""
+
+    code = "RPL007"
+    description = "clock read or print() bypasses the obs layer"
+    scope = (
+        "*/repro/obs/*",
+        "*/repro/figures.py",
+        "*/repro/resilience.py",
+        "*/repro/delivery/multicdn.py",
+        "*/repro/telemetry/ingest.py",
+        "*/repro/telemetry/backend.py",
+        "*/repro/synthesis/generator.py",
+    )
+    exempt = ("*/repro/obs/clock.py",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        if dotted == "print":
+            self.report(
+                node,
+                "print() in an instrumented module bypasses the "
+                "structured logger; use obs.emit(event, **fields) so "
+                "the event carries the span id and seed",
+            )
+            return
+        if dotted in _TIME_CALLS:
+            self.report(
+                node,
+                f"{dotted}() bypasses the injectable obs clock; take a "
+                "Clock (repro.obs.clock) as a parameter and call "
+                ".now() so tests can substitute a FakeClock",
+            )

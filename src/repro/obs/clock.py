@@ -1,0 +1,64 @@
+"""Injectable monotonic clocks for the observability layer.
+
+Every duration the obs layer records flows through a :class:`Clock`
+object rather than a direct ``time.monotonic()`` call.  This is the
+same injection pattern the resilience primitives use, promoted to a
+package-wide rule (enforced by replint RPL007): instrumented modules
+never read time themselves, so analysis code stays deterministic and
+tests can drive spans and histograms with a :class:`FakeClock`.
+
+This module is the single place allowed to touch :mod:`time` — it is
+the one RPL007 exemption.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """A monotonic clock: ``now()`` returns seconds as a float.
+
+    Subclasses only need ``now``; the base class is abstract in spirit
+    but deliberately not ``abc``-heavy — a bare callable wrapped in
+    :class:`CallableClock` works too.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real clock: wraps ``time.monotonic``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class CallableClock(Clock):
+    """Adapts any ``() -> float`` callable (e.g. an injected clock)."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def now(self) -> float:
+        return float(self._fn())
+
+
+class FakeClock(Clock):
+    """A test clock that only moves when told to.
+
+    ``advance()`` is explicit, so span durations and histogram samples
+    in tests are exact, not approximate.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot move backwards")
+        self._now += seconds

@@ -1,0 +1,97 @@
+"""Snapshot and benchmark exporters.
+
+``snapshot_payload`` renders the obs state (metrics + finished spans)
+as one JSON-able dict; ``write_snapshot`` persists it.  The benchmark
+harness uses :func:`bench_payload` to turn span timings into the
+``BENCH_obs.json`` perf-trajectory artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span
+
+SCHEMA_VERSION = 1
+
+
+def span_rows(spans: List[Span]) -> List[Dict[str, object]]:
+    """Finished spans as flat dicts (creation order)."""
+    rows: List[Dict[str, object]] = []
+    for span in sorted(spans, key=lambda s: s.span_id):
+        rows.append(
+            {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "duration_s": span.duration,
+                "attrs": {k: span.attrs[k] for k in sorted(span.attrs)},
+            }
+        )
+    return rows
+
+
+def snapshot_payload(
+    registry: MetricsRegistry,
+    spans: Optional[List[Span]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "metrics": registry.snapshot(),
+    }
+    if spans:
+        payload["spans"] = span_rows(spans)
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def to_json(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_snapshot(
+    path: str,
+    registry: MetricsRegistry,
+    spans: Optional[List[Span]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Write the combined snapshot to ``path``; returns the payload."""
+    payload = snapshot_payload(registry, spans=spans, meta=meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_json(payload))
+    return payload
+
+
+def bench_payload(
+    spans: List[Span],
+    registry: Optional[MetricsRegistry] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The ``BENCH_obs.json`` shape: per-stage wall times + rollups.
+
+    Top-level stage totals aggregate spans by name so the perf
+    trajectory across PRs can diff like-for-like stages even when the
+    span count changes.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        stage = totals.setdefault(
+            span.name, {"calls": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        stage["calls"] += 1
+        stage["total_s"] += span.duration
+        stage["max_s"] = max(stage["max_s"], span.duration)
+    payload: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "stages": {name: totals[name] for name in sorted(totals)},
+        "spans": span_rows(spans),
+    }
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload

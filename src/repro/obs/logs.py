@@ -1,0 +1,102 @@
+"""Structured JSON logs on top of stdlib :mod:`logging`.
+
+One formatter, one helper: every record renders as a single JSON
+object with the logger name, level, message, the active span id (when
+tracing is live), the run seed (when configured), and any structured
+fields passed via ``extra={"fields": {...}}`` or the :func:`emit`
+helper on the obs facade.  No handler is installed at import time —
+emitting logs is an explicit opt-in (``obs.configure``), so library
+users see nothing unless they ask.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Dict, Optional
+
+LOGGER_ROOT = "repro"
+
+_FIELDS_ATTR = "repro_fields"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Renders each record as one JSON line.
+
+    ``span_id_fn`` is injected by the obs context so the formatter can
+    stamp the active span without importing the tracer (and without
+    creating an import cycle).  The record's own ``created`` timestamp
+    is deliberately omitted: operational logs here describe a seeded
+    run, and the span tree already carries relative timings.
+    """
+
+    def __init__(
+        self,
+        span_id_fn=None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self._span_id_fn = span_id_fn
+        self.seed = seed
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, object] = {
+            "logger": record.name,
+            "level": record.levelname.lower(),
+            "event": record.getMessage(),
+        }
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        if self._span_id_fn is not None:
+            span_id = self._span_id_fn()
+            if span_id is not None:
+                payload["span_id"] = span_id
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = record.exc_info[0].__name__
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    full = f"{LOGGER_ROOT}.{name}" if name else LOGGER_ROOT
+    return logging.getLogger(full)
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Emit one structured event with attached key/value fields."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+
+def install_handler(
+    stream: Optional[IO[str]] = None,
+    level: int = logging.INFO,
+    span_id_fn=None,
+    seed: Optional[int] = None,
+) -> logging.Handler:
+    """Attach a JSON handler to the ``repro`` logger tree.
+
+    Returns the handler so callers (and tests) can detach it again via
+    :func:`remove_handler`.
+    """
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLogFormatter(span_id_fn=span_id_fn, seed=seed))
+    root = get_logger()
+    root.addHandler(handler)
+    root.setLevel(level)
+    # Structured events are a sink of their own; don't duplicate them
+    # into whatever the host application wired on the root logger.
+    root.propagate = False
+    return handler
+
+
+def remove_handler(handler: logging.Handler) -> None:
+    get_logger().removeHandler(handler)

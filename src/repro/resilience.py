@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, List, Optional, Tuple, Type, TypeVar
 
+from repro import obs
 from repro.errors import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -102,7 +103,7 @@ def retry_with_backoff(
             deadline.check("retry_with_backoff")
         attempts += 1
         try:
-            return fn()
+            result = fn()
         except retry_on as exc:  # noqa: PERF203 - the loop IS the point
             last = exc
             if attempt >= pol.retries:
@@ -112,6 +113,11 @@ def retry_with_backoff(
                 on_retry(attempt, exc, wait)
             if sleep is not None:
                 sleep(wait)
+        else:
+            obs.histogram("retry.attempts").observe(attempts)
+            return result
+    obs.histogram("retry.attempts").observe(attempts)
+    obs.counter("retry.exhausted").inc()
     raise RetryExhaustedError(
         f"gave up after {attempts} attempts: {last}",
         attempts=attempts,
@@ -146,6 +152,11 @@ class CircuitBreaker:
     without touching the failure count, so a code bug cannot mask
     itself as a downed dependency.  Pass ``failure_types`` to widen or
     narrow the set.
+
+    ``name`` labels this breaker in the obs layer: every state
+    transition increments ``breaker.transitions{breaker,from,to}`` and
+    emits a structured ``breaker.transition`` log event, so a fleet of
+    per-CDN breakers is triageable from one metrics snapshot.
     """
 
     def __init__(
@@ -154,6 +165,7 @@ class CircuitBreaker:
         recovery_timeout: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
         failure_types: Tuple[Type[BaseException], ...] = (ReproError, OSError),
+        name: str = "default",
     ) -> None:
         if failure_threshold < 1:
             raise ResilienceError("failure_threshold must be >= 1")
@@ -162,6 +174,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.recovery_timeout = recovery_timeout
         self.failure_types = failure_types
+        self.name = name
         self._clock = clock
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
@@ -173,10 +186,29 @@ class CircuitBreaker:
         self._maybe_half_open()
         return self._state
 
+    def _transition(self, new_state: CircuitState) -> None:
+        """Move to ``new_state``, recording the edge if it is one."""
+        old = self._state
+        self._state = new_state
+        if old is new_state:
+            return
+        obs.counter(
+            "breaker.transitions",
+            breaker=self.name,
+            **{"from": old.value, "to": new_state.value},
+        ).inc()
+        obs.emit(
+            "breaker.transition",
+            breaker=self.name,
+            from_state=old.value,
+            to_state=new_state.value,
+            consecutive_failures=self._consecutive_failures,
+        )
+
     def _maybe_half_open(self) -> None:
         if self._state is CircuitState.OPEN and self._opened_at is not None:
             if self._clock() - self._opened_at >= self.recovery_timeout:
-                self._state = CircuitState.HALF_OPEN
+                self._transition(CircuitState.HALF_OPEN)
 
     def allow(self) -> bool:
         """Whether a call may proceed right now."""
@@ -185,7 +217,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self._state = CircuitState.CLOSED
+        self._transition(CircuitState.CLOSED)
         self._opened_at = None
 
     def record_failure(self) -> None:
@@ -194,13 +226,14 @@ class CircuitBreaker:
             self._state is CircuitState.HALF_OPEN
             or self._consecutive_failures >= self.failure_threshold
         ):
-            self._state = CircuitState.OPEN
+            self._transition(CircuitState.OPEN)
             self._opened_at = self._clock()
 
     def call(self, fn: Callable[[], T]) -> T:
         """Run ``fn`` through the breaker, recording the outcome."""
         if not self.allow():
             self.rejected_calls += 1
+            obs.counter("breaker.rejected", breaker=self.name).inc()
             raise CircuitOpenError(
                 f"circuit open ({self._consecutive_failures} consecutive "
                 "failures); call rejected"

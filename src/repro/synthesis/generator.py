@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.constants import Protocol
 from repro.entities.device import DeviceRegistry, default_registry
 from repro.entities.publisher import Publisher, PublisherProfile
@@ -67,10 +68,24 @@ class EcosystemGenerator:
 
     def generate(self) -> EcosystemResult:
         """Generate the dataset and ground truth for this config."""
+        with obs.span(
+            "synthesis.generate", seed=self.config.seed
+        ) as span:
+            result = self._generate()
+            span.set(
+                records=len(result.dataset),
+                snapshots=len(result.snapshots),
+                publishers=len(result.publishers),
+            )
+        return result
+
+    def _generate(self) -> EcosystemResult:
         config = self.config
         rng = np.random.default_rng(config.seed)
         registry = default_registry()
-        publishers = generate_publishers(rng, config.n_publishers)
+        with obs.span("synthesis.population"):
+            publishers = generate_publishers(rng, config.n_publishers)
+        obs.gauge("synthesis.publishers").set(len(publishers))
         assigner = PortfolioAssigner(rng, publishers, registry)
 
         ranked = sorted(
@@ -116,19 +131,28 @@ class EcosystemGenerator:
         snapshots = self._select_snapshots(schedule)
         records: List[ViewRecord] = []
         last_index = len(snapshots) - 1
+        record_counter = obs.counter("synthesis.records")
+        snapshot_counter = obs.counter("synthesis.snapshots")
         for index, snapshot in enumerate(snapshots):
             t = index / last_index if last_index > 0 else 1.0
-            records.extend(
-                sampler.snapshot_records(
+            with obs.span(
+                "synthesis.snapshot", snapshot=snapshot.isoformat()
+            ) as span:
+                batch = sampler.snapshot_records(
                     snapshot, t, scale=config.records_scale
                 )
-            )
+                span.set(records=len(batch))
+            record_counter.inc(len(batch))
+            snapshot_counter.inc()
+            records.extend(batch)
         if case_study is not None:
-            records.extend(
-                sampler.case_study_records(
+            with obs.span("synthesis.case_study") as span:
+                batch = sampler.case_study_records(
                     snapshots[-1], config.qoe_sessions
                 )
-            )
+                span.set(records=len(batch))
+            record_counter.inc(len(batch))
+            records.extend(batch)
 
         return EcosystemResult(
             dataset=Dataset(records),

@@ -79,6 +79,7 @@ class TelemetryBackend:
         *,
         reorder_buffer: int = 256,
         max_idle_events: Optional[int] = None,
+        metrics=None,
     ) -> IngestReport:
         """Fault-tolerant batch ingestion of a raw event stream.
 
@@ -87,11 +88,18 @@ class TelemetryBackend:
         event exactly like :meth:`ingest_event`; ``quarantine`` and
         ``repair`` never raise), stores the folded records, and returns
         the pipeline's :class:`IngestReport` with the dead-letter queue.
+
+        ``metrics`` optionally names the
+        :class:`~repro.obs.metrics.MetricsRegistry` that should own the
+        pipeline's counters (e.g. ``obs.metrics()`` so a ``--metrics-out``
+        snapshot and the report share instruments); by default each
+        batch counts in isolation.
         """
         pipeline = IngestPipeline(
             policy,
             reorder_buffer=reorder_buffer,
             max_idle_events=max_idle_events,
+            metrics=metrics,
         )
         report = pipeline.run(events)
         self._records.extend(report.records)

@@ -30,7 +30,10 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.errors import DatasetError, IngestError
+from repro.obs.instruments import catalog_by_name
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.telemetry.events import Heartbeat, SessionEnd, SessionStart, Sessionizer
 from repro.telemetry.records import ViewRecord
 
@@ -73,9 +76,73 @@ class DeadLetter:
     sequence: int = -1
 
 
+class IngestCounters:
+    """The obs instruments backing one pipeline's :class:`IngestReport`.
+
+    Counts live in :class:`~repro.obs.metrics.Counter` instruments
+    rather than plain ints so the printed report and a metrics
+    snapshot are *the same numbers*, not two bookkeeping paths that
+    can drift.  By default each pipeline gets a private registry
+    (isolated counts, the historical semantics); pass a shared
+    registry — e.g. ``obs.metrics()`` from the CLI — to surface the
+    same instruments in the process-wide snapshot.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        specs = catalog_by_name()
+
+        def make(name: str) -> Counter:
+            return self.registry.counter(name, specs[name].description)
+
+        self.events = make("ingest.events")
+        self.accepted = make("ingest.accepted")
+        self.repaired = make("ingest.repaired")
+        self.deduped = make("ingest.deduped")
+        self.reaped = make("ingest.reaped")
+        self.records = make("ingest.records")
+        self.open_sessions = self.registry.gauge(
+            "ingest.open_sessions", specs["ingest.open_sessions"].description
+        )
+        self.parked_events = self.registry.gauge(
+            "ingest.parked_events", specs["ingest.parked_events"].description
+        )
+        self._quarantine_desc = specs["ingest.quarantined"].description
+
+    def quarantined(self, reason: RejectReason) -> Counter:
+        """The per-reason dead-letter counter (created on first use)."""
+        return self.registry.counter(
+            "ingest.quarantined", self._quarantine_desc, reason=reason.value
+        )
+
+    @property
+    def quarantined_total(self) -> int:
+        return sum(
+            int(instrument.value)
+            for instrument in self.registry.series(
+                "ingest.quarantined"
+            ).values()
+        )
+
+    def reason_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for labels, instrument in self.registry.series(
+            "ingest.quarantined"
+        ).items():
+            value = int(instrument.value)
+            if value:
+                counts[dict(labels)["reason"]] = value
+        return counts
+
+
 @dataclass
 class IngestReport:
     """Counters and outputs of one ingestion run.
+
+    Every count is a property over the pipeline's obs counters
+    (:class:`IngestCounters`) — the single source of truth shared with
+    the metrics snapshot, so ``repro ingest --metrics-out`` can never
+    print a summary that disagrees with the exported JSON.
 
     Invariant (verified by the fuzz suite): every input event is
     accounted for exactly once —
@@ -85,20 +152,36 @@ class IngestReport:
     """
 
     policy: ErrorPolicy
-    total_events: int = 0
-    accepted: int = 0
-    repaired: int = 0
-    quarantined: int = 0
-    reaped: int = 0
-    deduped: int = 0
+    counters: IngestCounters = field(default_factory=IngestCounters)
     records: List[ViewRecord] = field(default_factory=list)
     dead_letters: List[DeadLetter] = field(default_factory=list)
 
+    @property
+    def total_events(self) -> int:
+        return self.counters.events.count
+
+    @property
+    def accepted(self) -> int:
+        return self.counters.accepted.count
+
+    @property
+    def repaired(self) -> int:
+        return self.counters.repaired.count
+
+    @property
+    def quarantined(self) -> int:
+        return self.counters.quarantined_total
+
+    @property
+    def reaped(self) -> int:
+        return self.counters.reaped.count
+
+    @property
+    def deduped(self) -> int:
+        return self.counters.deduped.count
+
     def reason_counts(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for letter in self.dead_letters:
-            counts[letter.reason.value] = counts.get(letter.reason.value, 0) + 1
-        return counts
+        return self.counters.reason_counts()
 
     @property
     def event_quarantined(self) -> int:
@@ -134,6 +217,7 @@ class RobustSessionizer:
         *,
         reorder_buffer: int = 256,
         max_idle_events: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.policy = ErrorPolicy(policy)
         if reorder_buffer < 0:
@@ -153,7 +237,10 @@ class RobustSessionizer:
         self._parked: Dict[str, List[Tuple[int, object]]] = {}
         self._parked_total = 0
         self._clock = 0
-        self.report = IngestReport(policy=self.policy)
+        self._counters = IngestCounters(metrics)
+        self.report = IngestReport(
+            policy=self.policy, counters=self._counters
+        )
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -165,16 +252,20 @@ class RobustSessionizer:
         if self._finalized:
             raise IngestError("pipeline already finalized")
         self._clock += 1
-        self.report.total_events += 1
+        self._counters.events.inc()
         if self.policy is ErrorPolicy.STRICT:
             record = self._strict.ingest(event)
-            self.report.accepted += 1
+            self._counters.accepted.inc()
             if record is not None:
+                self._counters.records.inc()
                 self.report.records.append(record)
+            self._counters.open_sessions.set(self._strict.open_sessions)
             return record
         record = self._ingest_lenient(event)
         if self.max_idle_events is not None:
             self._reap_stale()
+        self._counters.open_sessions.set(len(self._open))
+        self._counters.parked_events.set(self._parked_total)
         return record
 
     def ingest_many(self, events: Iterable[object]) -> List[ViewRecord]:
@@ -207,12 +298,22 @@ class RobustSessionizer:
         self._parked_total = 0
         for sid in sorted(self._open):
             self._reap_session(sid, "open at finalize")
+        self._counters.open_sessions.set(0)
+        self._counters.parked_events.set(0)
         return self.report
 
     def run(self, events: Iterable[object]) -> IngestReport:
         """Ingest a whole stream and finalize — the batch entry point."""
-        self.ingest_many(events)
-        return self.finalize()
+        with obs.span("ingest.batch", policy=self.policy.value) as sp:
+            self.ingest_many(events)
+            report = self.finalize()
+            sp.set(
+                events=report.total_events,
+                accepted=report.accepted,
+                quarantined=report.quarantined,
+                records=len(report.records),
+            )
+        return report
 
     @property
     def open_sessions(self) -> int:
@@ -243,7 +344,7 @@ class RobustSessionizer:
         sid = event.session_id
         if sid in self._open:
             if self._open[sid] == event:
-                self.report.deduped += 1
+                self._counters.deduped.inc()
             else:
                 self._quarantine(
                     event, RejectReason.DUPLICATE_START,
@@ -252,7 +353,7 @@ class RobustSessionizer:
                 )
             return None
         if sid in self._closed:
-            self.report.deduped += 1
+            self._counters.deduped.inc()
             return None
         self._accept(sid)
         self._open[sid] = event
@@ -277,7 +378,7 @@ class RobustSessionizer:
                 self._park(event, sequence=sequence)
             return None
         if event.seq is not None and event.seq in self._seen_seq[sid]:
-            self.report.deduped += 1
+            self._counters.deduped.inc()
             return None
         checked = self._check_beat(event, sequence=sequence)
         if checked is None:
@@ -294,7 +395,7 @@ class RobustSessionizer:
         sid = event.session_id
         if sid not in self._open:
             if sid in self._closed:
-                self.report.deduped += 1
+                self._counters.deduped.inc()
             elif may_park and sid in self._parked:
                 # Start still missing: park the end so a late start can
                 # replay the whole session in order.
@@ -309,6 +410,7 @@ class RobustSessionizer:
         record = self._try_fold(sid, end=event, sequence=sequence)
         if record is not None:
             self._accept(sid)
+            self._counters.records.inc()
             self.report.records.append(record)
         return record
 
@@ -317,7 +419,7 @@ class RobustSessionizer:
     # ------------------------------------------------------------------
 
     def _accept(self, sid: Optional[str]) -> None:
-        self.report.accepted += 1
+        self._counters.accepted.inc()
         if sid is not None:
             self._last_seen[sid] = self._clock
 
@@ -325,7 +427,7 @@ class RobustSessionizer:
         self, event: object, reason: RejectReason, detail: str,
         sequence: int = -1,
     ) -> None:
-        self.report.quarantined += 1
+        self._counters.quarantined(reason).inc()
         self.report.dead_letters.append(
             DeadLetter(event=event, reason=reason, detail=detail,
                        sequence=sequence)
@@ -420,7 +522,7 @@ class RobustSessionizer:
         if not problems:
             return event
         if self.policy is ErrorPolicy.REPAIR:
-            self.report.repaired += 1
+            self._counters.repaired.inc()
             return replace(event, **fixed)
         reason = (
             RejectReason.NEGATIVE_TIMING
@@ -493,7 +595,14 @@ class RobustSessionizer:
         """Force-fold (repair) or drop (quarantine) one idle session."""
         start = self._open[sid]
         beats = self._beats[sid]
-        self.report.reaped += 1
+        self._counters.reaped.inc()
+        obs.emit(
+            "ingest.reap",
+            session=sid,
+            why=why,
+            policy=self.policy.value,
+            heartbeats=len(beats),
+        )
         if (
             self.policy is ErrorPolicy.REPAIR
             and beats
@@ -509,7 +618,8 @@ class RobustSessionizer:
                 )
                 return
             self._close(sid)
-            self.report.repaired += 1
+            self._counters.repaired.inc()
+            self._counters.records.inc()
             self.report.records.append(record)
             return
         self._close(sid)

@@ -177,6 +177,28 @@ FIXTURES = {
             return rows, ",".join(sorted({r.cdn for r in records}))
         """,
     ),
+    "RPL007": (
+        "src/repro/telemetry/ingest.py",
+        """
+        import time
+
+        def fold(events, deadline):
+            started = time.monotonic()
+            print("folding", len(events))
+            return [e for e in events if started < deadline]
+        """,
+        """
+        import time
+
+        from repro import obs
+
+        def fold(events, clock=time.monotonic):
+            with obs.span("ingest.fold", events=len(events)) as span:
+                span.set(started=clock())
+            obs.emit("ingest.fold.done", events=len(events))
+            return list(events)
+        """,
+    ),
 }
 
 
@@ -286,6 +308,23 @@ class TestRuleDetails:
         src = "rows = list({1, 2, 3})"
         assert codes(src, "src/repro/core/a.py") == []
         assert codes(src, "src/repro/experiments.py") == ["RPL006"]
+
+    def test_rpl007_counts_each_bypass_site(self):
+        path, bad, _ = FIXTURES["RPL007"]
+        assert codes(bad, path).count("RPL007") == 2
+
+    def test_rpl007_clock_module_is_the_exemption(self):
+        src = "import time\nnow = time.monotonic()\n"
+        assert codes(src, "src/repro/obs/clock.py") == []
+        assert codes(src, "src/repro/obs/tracing.py") == ["RPL007"]
+
+    def test_rpl007_out_of_scope_path_silent(self):
+        _, bad, _ = FIXTURES["RPL007"]
+        assert codes(bad, "src/repro/core/counts.py") == []
+
+    def test_rpl007_clock_reference_is_not_a_call(self):
+        src = "import time\ndef f(clock=time.monotonic):\n    return clock\n"
+        assert codes(src, "src/repro/resilience.py") == []
 
 
 # ---------------------------------------------------------------------------

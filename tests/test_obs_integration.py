@@ -1,0 +1,382 @@
+"""Observability across the pipeline: counters, spans, CLI, determinism.
+
+Three claims are under test here:
+
+1. single source of truth — the counts an :class:`IngestReport` prints
+   and the counters a metrics snapshot exports are the same instrument
+   objects, so they cannot disagree, fault injection or not;
+2. instrumentation is live — retries, breaker transitions, CDN
+   failovers, generator stages and figure runs all leave the declared
+   metric/span trail when obs is enabled;
+3. obs is invisible — with obs disabled (the default) the figure
+   pipeline emits byte-identical output to an obs-enabled run, because
+   recorded data never feeds an analysis.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli, figures, obs
+from repro.constants import ContentType
+from repro.core.report import format_table
+from repro.delivery.multicdn import CdnBroker, ResilientFetcher
+from repro.entities.cdn import CDN, CdnAssignment
+from repro.errors import CircuitOpenError, DeliveryError, RetryExhaustedError
+from repro.obs import FakeClock, MetricsRegistry
+from repro.resilience import BackoffPolicy, CircuitBreaker, retry_with_backoff
+from repro.synthesis.calibration import EcosystemConfig
+from repro.synthesis.generator import EcosystemGenerator
+from repro.telemetry.faults import FaultInjector, FaultMix
+from repro.telemetry.ingest import IngestPipeline, events_from_records
+
+pytestmark = pytest.mark.obs
+
+# Small enough to regenerate twice in one test, large enough to hit
+# every synthesis stage (case study included).
+FAST_CONFIG = dict(
+    seed=11, snapshot_limit=2, n_publishers=24, records_scale=0.2,
+    qoe_sessions=10,
+)
+
+
+@pytest.fixture
+def global_obs():
+    """Enable the process-global obs context; restore defaults after."""
+    ctx = obs.configure(enabled=True, clock=FakeClock())
+    yield ctx
+    ctx.configure(enabled=False)
+    ctx.reset()
+    ctx.seed = None
+
+
+def _faulted_events(eco, rate: float = 0.3, sessions: int = 40):
+    records = [
+        r
+        for r in eco.dataset.records
+        if r.view_duration_hours > 0 and r.rebuffer_ratio < 1.0
+    ][:sessions]
+    events = list(events_from_records(records))
+    injector = FaultInjector(FaultMix.uniform(rate), seed=5)
+    return injector.apply(events)
+
+
+# ---------------------------------------------------------------------------
+# Single source of truth: report counts ARE the metrics counters
+# ---------------------------------------------------------------------------
+
+
+class TestIngestSingleSource:
+    def test_snapshot_counters_match_report_exactly(self, eco):
+        registry = MetricsRegistry()
+        pipeline = IngestPipeline("quarantine", metrics=registry)
+        report = pipeline.run(_faulted_events(eco))
+        counters = registry.snapshot()["counters"]
+
+        assert counters["ingest.events"] == report.total_events
+        assert counters["ingest.accepted"] == report.accepted
+        assert counters["ingest.repaired"] == report.repaired
+        assert counters["ingest.deduped"] == report.deduped
+        assert counters["ingest.reaped"] == report.reaped
+        assert counters["ingest.records"] == len(report.records)
+        per_reason = {
+            key: int(value)
+            for key, value in registry.series_values(
+                "ingest.quarantined"
+            ).items()
+            if value
+        }
+        assert per_reason == report.reason_counts()
+        assert sum(per_reason.values()) == report.quarantined
+        assert report.quarantined > 0  # the fault mix actually bit
+
+    def test_report_conservation_invariant_still_holds(self, eco):
+        report = IngestPipeline("quarantine").run(_faulted_events(eco))
+        assert (
+            report.accepted + report.deduped + report.event_quarantined
+            == report.total_events
+        )
+
+    def test_private_registries_isolate_pipelines(self, eco):
+        events = _faulted_events(eco, sessions=10)
+        first = IngestPipeline("quarantine").run(list(events))
+        second = IngestPipeline("quarantine").run(list(events))
+        assert first.total_events == second.total_events
+        assert first.summary() == second.summary()
+
+    def test_shared_registry_accumulates_across_batches(self, eco):
+        registry = MetricsRegistry()
+        events = list(_faulted_events(eco, sessions=10))
+        solo = IngestPipeline("quarantine").run(list(events))
+        IngestPipeline("quarantine", metrics=registry).run(list(events))
+        shared = IngestPipeline("quarantine", metrics=registry).run(
+            list(events)
+        )
+        total = registry.snapshot()["counters"]["ingest.events"]
+        assert total == 2 * solo.total_events
+        # A shared-registry report aliases the cumulative instruments —
+        # single source of truth means it cannot diverge from them.
+        assert shared.total_events == total
+
+    def test_repair_policy_counts_repairs(self, eco):
+        registry = MetricsRegistry()
+        report = IngestPipeline("repair", metrics=registry).run(
+            _faulted_events(eco)
+        )
+        assert (
+            registry.snapshot()["counters"]["ingest.repaired"]
+            == report.repaired
+        )
+
+    def test_batch_span_recorded_when_enabled(self, eco, global_obs):
+        IngestPipeline("quarantine").run(_faulted_events(eco, sessions=5))
+        spans = [
+            s for s in global_obs.tracer.finished if s.name == "ingest.batch"
+        ]
+        assert len(spans) == 1
+        assert spans[0].attrs["policy"] == "quarantine"
+        assert spans[0].attrs["events"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Resilience primitives leave their metric trail
+# ---------------------------------------------------------------------------
+
+
+class TestResilienceInstrumentation:
+    def test_retry_attempts_histogram(self, global_obs):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise DeliveryError("transient")
+            return "ok"
+
+        policy = BackoffPolicy(retries=3, base_delay=0.0, jitter=0.0)
+        assert (
+            retry_with_backoff(
+                flaky, policy=policy, retry_on=(DeliveryError,)
+            )
+            == "ok"
+        )
+        hist = global_obs.registry.histogram("retry.attempts")
+        assert hist.count == 1
+        assert hist.sum == 3.0
+
+    def test_retry_exhaustion_counted(self, global_obs):
+        def doomed():
+            raise DeliveryError("hard down")
+
+        policy = BackoffPolicy(retries=1, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                doomed, policy=policy, retry_on=(DeliveryError,)
+            )
+        assert global_obs.registry.counter("retry.exhausted").count == 1
+        assert global_obs.registry.histogram("retry.attempts").sum == 2.0
+
+    def test_breaker_transition_edges_and_rejections(self, global_obs):
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_timeout=30.0, name="cdn:A"
+        )
+
+        def fail():
+            raise DeliveryError("down")
+
+        for _ in range(2):
+            with pytest.raises(DeliveryError):
+                breaker.call(fail)
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+        values = global_obs.registry.series_values("breaker.transitions")
+        assert values == {"cdn:A,closed,open": 1.0}
+        rejected = global_obs.registry.series_values("breaker.rejected")
+        assert rejected == {"cdn:A": 1.0}
+
+    def test_multicdn_failover_counters(self, global_obs):
+        broker = CdnBroker(explore=0.0)
+        broker.observe("A", 5000.0)
+        broker.observe("B", 2000.0)
+        fetcher = ResilientFetcher(
+            broker,
+            policy=BackoffPolicy(retries=1, base_delay=0.0, jitter=0.0),
+            failure_threshold=2,
+            recovery_timeout=30.0,
+        )
+        assignments = tuple(
+            CdnAssignment(cdn=CDN(name=name), content_types=frozenset(ContentType))
+            for name in ("A", "B")
+        )
+
+        def fetch(name):
+            if name == "A":
+                raise DeliveryError("A is down")
+            return f"chunk-from-{name}"
+
+        outcome = fetcher.fetch(assignments, ContentType.VOD, fetch)
+        assert outcome.cdn_name == "B"
+        registry = global_obs.registry
+        assert registry.series_values("multicdn.failover") == {"A": 1.0}
+        assert registry.series_values("multicdn.served") == {"B": 1.0}
+
+
+# ---------------------------------------------------------------------------
+# Generator and figure spans
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineSpans:
+    def test_generator_emits_stage_spans_and_counts(self, global_obs):
+        result = EcosystemGenerator(
+            EcosystemConfig(**FAST_CONFIG)
+        ).generate()
+        names = [s.name for s in global_obs.tracer.finished]
+        assert names.count("synthesis.snapshot") == 2
+        assert "synthesis.population" in names
+        assert "synthesis.case_study" in names
+        root = next(
+            s
+            for s in global_obs.tracer.finished
+            if s.name == "synthesis.generate"
+        )
+        assert root.attrs["records"] == len(result.dataset)
+        assert root.attrs["seed"] == FAST_CONFIG["seed"]
+        counters = global_obs.registry.snapshot()["counters"]
+        assert counters["synthesis.records"] == len(result.dataset)
+        assert counters["synthesis.snapshots"] == 2
+
+    def test_figure_run_span_and_counter(self, eco, global_obs):
+        rows = figures.run_figure("F2a", eco)
+        span = next(
+            s for s in global_obs.tracer.finished if s.name == "figure.run"
+        )
+        assert span.attrs == {"figure": "F2a", "rows": len(rows)}
+        assert global_obs.registry.series_values("figure.runs") == {
+            "F2a": 1.0
+        }
+
+
+# ---------------------------------------------------------------------------
+# Obs must be invisible: byte-identical output on vs off
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_figure_output_identical_obs_on_vs_off(self):
+        def build_tables() -> str:
+            result = EcosystemGenerator(
+                EcosystemConfig(**FAST_CONFIG)
+            ).generate()
+            return "\n\n".join(
+                format_table(figures.run_figure(fid, result))
+                for fid in ("F2a", "F13", "S44")
+            )
+
+        assert not obs.enabled()
+        off = build_tables()
+        obs.configure(enabled=True, clock=FakeClock())
+        try:
+            on = build_tables()
+        finally:
+            obs.get_context().configure(enabled=False)
+            obs.reset()
+        assert on == off
+
+    def test_disabled_run_records_nothing(self):
+        assert not obs.enabled()
+        before = len(obs.tracer().finished)
+        EcosystemGenerator(EcosystemConfig(**FAST_CONFIG)).generate()
+        assert len(obs.tracer().finished) == before
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCliObs:
+    def test_ingest_metrics_out_matches_printed_report(
+        self, tmp_path, capsys, global_obs
+    ):
+        out = tmp_path / "m.json"
+        exit_code = cli.main(
+            [
+                "ingest",
+                "--policy",
+                "quarantine",
+                "--fault-rate",
+                "0.2",
+                "--sessions",
+                "30",
+                "--publishers",
+                "24",
+                "--metrics-out",
+                str(out),
+            ]
+        )
+        assert exit_code == 0
+        summary = capsys.readouterr().out
+        counters = json.loads(out.read_text())["metrics"]["counters"]
+        # The printed summary and the snapshot share instruments; parse
+        # the summary line back and compare every count.
+        line = next(
+            l for l in summary.splitlines() if l.startswith("policy=")
+        )
+        printed = dict(
+            part.split("=")
+            for part in line.split(" [")[0].split()
+            if "=" in part
+        )
+        assert counters["ingest.events"] == float(printed["events"])
+        assert counters["ingest.accepted"] == float(printed["accepted"])
+        assert counters["ingest.deduped"] == float(printed["deduped"])
+        quarantined = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("ingest.quarantined{")
+        )
+        assert quarantined == float(printed["quarantined"])
+
+    def test_figure_trace_prints_span_tree(self, capsys, global_obs):
+        exit_code = cli.main(
+            [
+                "figure",
+                "F13",
+                "--trace",
+                "--snapshots",
+                "2",
+                "--publishers",
+                "24",
+            ]
+        )
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "synthesis.generate" in err
+        assert "  synthesis.snapshot" in err  # indented: nested span
+        assert "figure.run" in err
+
+    def test_metrics_subcommand_lists_catalog(self, capsys, global_obs):
+        assert cli.main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ingest.quarantined", "retry.attempts", "figure.runs"):
+            assert name in out
+
+    def test_metrics_subcommand_json_shape(self, capsys, global_obs):
+        assert cli.main(["metrics", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {spec["name"] for spec in payload["catalog"]}
+        assert "multicdn.failover" in names
+        assert set(payload["snapshot"]) == {
+            "counters",
+            "gauges",
+            "histograms",
+        }
+
+    def test_trace_flag_rejected_without_subcommand_support(self, capsys):
+        # lint deliberately has no obs flags: it never runs the pipeline.
+        with pytest.raises(SystemExit):
+            cli.main(["lint", "--trace"])
