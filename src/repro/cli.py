@@ -190,6 +190,12 @@ def _add_generator_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--publishers", type=int, default=110, help="population size"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for snapshot synthesis (default: serial)",
+    )
 
 
 def _generate(args: argparse.Namespace) -> EcosystemResult:
@@ -198,7 +204,7 @@ def _generate(args: argparse.Namespace) -> EcosystemResult:
         snapshot_limit=args.snapshots,
         n_publishers=args.publishers,
     )
-    return EcosystemGenerator(config).generate()
+    return EcosystemGenerator(config).generate(jobs=args.jobs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -19,6 +19,13 @@ from repro.telemetry.dataset import Dataset
 
 def publisher_counts(dataset: Dataset, dimension: Dimension) -> Dict[str, int]:
     """Distinct dimension values per publisher in a dataset slice."""
+    if dimension.column_key is not None and dataset.columnar:
+        counts = dataset.values_per_publisher(dimension.column_key)
+        if not counts:
+            raise AnalysisError(
+                f"no records in scope for dimension {dimension.name!r}"
+            )
+        return counts
     values_by_publisher: Dict[str, Set[object]] = defaultdict(set)
     for record in dataset:
         for value in dimension.values(record):

@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from repro.constants import Platform, Protocol
 from repro.entities.device import DeviceRegistry, default_registry
 from repro.packaging.manifest.detect import detect_protocol_or_none
+from repro.telemetry.columnar import ColumnKey
 from repro.telemetry.records import ViewRecord
 
 #: (value, fraction) pairs: fraction splits the record's view-hours and
@@ -27,6 +28,13 @@ class Dimension(abc.ABC):
     """One management-plane dimension of §4."""
 
     name: str
+
+    #: Vectorization hook: single-valued dimensions publish a
+    #: :class:`ColumnKey` so the prevalence/count analyses can group by
+    #: interned codes on the dataset's column store.  ``None`` (the
+    #: multi-valued CDN dimension, or a non-default device registry)
+    #: keeps the generic row-at-a-time path.
+    column_key: Optional[ColumnKey] = None
 
     @abc.abstractmethod
     def values(self, record: ViewRecord) -> Tuple[object, ...]:
@@ -40,6 +48,11 @@ class Dimension(abc.ABC):
         fraction = 1.0 / len(values)
         return tuple((value, fraction) for value in values)
 
+    def _single_value(self, record: ViewRecord) -> Optional[object]:
+        """The record's sole value, or None out of scope (ColumnKey fn)."""
+        values = self.values(record)
+        return values[0] if values else None
+
 
 class ProtocolDimension(Dimension):
     """Streaming protocol, inferred from the URL (Table 1, §3).
@@ -52,6 +65,10 @@ class ProtocolDimension(Dimension):
 
     def __init__(self, http_only: bool = True) -> None:
         self.http_only = http_only
+        self.column_key = ColumnKey(
+            "protocol:http" if http_only else "protocol:all",
+            self._single_value,
+        )
 
     def values(self, record: ViewRecord) -> Tuple[object, ...]:
         protocol = detect_protocol_or_none(record.url)
@@ -69,6 +86,8 @@ class PlatformDimension(Dimension):
 
     def __init__(self, registry: Optional[DeviceRegistry] = None) -> None:
         self._registry = registry or default_registry()
+        if registry is None:
+            self.column_key = ColumnKey("platform", self._single_value)
 
     def values(self, record: ViewRecord) -> Tuple[object, ...]:
         if record.device_model not in self._registry:
@@ -88,6 +107,8 @@ class FamilyDimension(Dimension):
         self.platform = platform
         self.name = f"family:{platform.value}"
         self._registry = registry or default_registry()
+        if registry is None:
+            self.column_key = ColumnKey(self.name, self._single_value)
 
     def values(self, record: ViewRecord) -> Tuple[object, ...]:
         if record.device_model not in self._registry:
@@ -114,3 +135,8 @@ class CdnDimension(Dimension):
 def record_protocol(record: ViewRecord) -> Optional[Protocol]:
     """Protocol of one record, or None when undetectable."""
     return detect_protocol_or_none(record.url)
+
+
+#: Named derived column for the detected protocol (RTMP included);
+#: shares its interned codes with ``ProtocolDimension(http_only=False)``.
+PROTOCOL_COLUMN = ColumnKey("protocol:all", record_protocol)

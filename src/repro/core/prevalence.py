@@ -30,9 +30,18 @@ def publisher_support_series(
     """% of publishers supporting each value, per snapshot (Figs 2a, 7, 11a)."""
     if len(dataset) == 0:
         raise AnalysisError("dataset is empty")
+    key = dimension.column_key
     series: SeriesByValue = {}
     for snapshot in dataset.snapshots():
         snap = dataset.for_snapshot(snapshot)
+        if key is not None and snap.columnar:
+            per_value = snap.publishers_per_value(key)
+            total = len(snap.publishers())
+            series[snapshot] = {
+                value: 100.0 * count / total
+                for value, count in per_value.items()
+            }
+            continue
         publishers_by_value: Dict[object, set] = defaultdict(set)
         all_publishers = set()
         for record in snap:
@@ -60,9 +69,26 @@ def view_hour_share_series(
     total (records the dimension classifies), so they sum to ~100%.
     """
     excluded = set(exclude_publishers)
+    key = dimension.column_key
     series: SeriesByValue = {}
     for snapshot in dataset.snapshots():
         snap = dataset.for_snapshot(snapshot)
+        if key is not None and snap.columnar:
+            if excluded:
+                snap = snap.exclude_publishers(excluded)
+            totals_by_value = (
+                snap.views_by(key) if by_views else snap.view_hours_by(key)
+            )
+            in_scope = sum(totals_by_value.values())
+            if in_scope <= 0:
+                raise AnalysisError(
+                    f"snapshot {snapshot} has no in-scope records"
+                )
+            series[snapshot] = {
+                value: 100.0 * total / in_scope
+                for value, total in totals_by_value.items()
+            }
+            continue
         totals: Dict[object, float] = defaultdict(float)
         in_scope_total = 0.0
         for record in snap:

@@ -15,6 +15,7 @@ from typing import Dict, Set
 from repro.constants import ContentType, Protocol
 from repro.core.counts import count_distribution, share_with_count_above
 from repro.core.dimensions import (
+    PROTOCOL_COLUMN,
     CdnDimension,
     Dimension,
     PlatformDimension,
@@ -71,15 +72,20 @@ def rtmp_share(dataset: Dataset) -> Dict[str, float]:
         ("latest", dataset.latest_snapshot()),
     ):
         snap = dataset.for_snapshot(snapshot)
-        total = 0.0
-        rtmp = 0.0
-        for record in snap:
-            protocol = record_protocol(record)
-            if protocol is None:
-                continue
-            total += record.view_hours
-            if protocol is Protocol.RTMP:
-                rtmp += record.view_hours
+        if snap.columnar:
+            by_protocol = snap.view_hours_by(PROTOCOL_COLUMN)
+            total = sum(by_protocol.values())
+            rtmp = by_protocol.get(Protocol.RTMP, 0.0)
+        else:
+            total = 0.0
+            rtmp = 0.0
+            for record in snap:
+                protocol = record_protocol(record)
+                if protocol is None:
+                    continue
+                total += record.view_hours
+                if protocol is Protocol.RTMP:
+                    rtmp += record.view_hours
         if total <= 0:
             raise AnalysisError(f"no classifiable records at {snapshot}")
         shares[which] = 100.0 * rtmp / total

@@ -37,6 +37,19 @@ CATALOG: Tuple[InstrumentSpec, ...] = (
         "synthesis.publishers", "gauge",
         "publisher population size of the last generated ecosystem",
     ),
+    InstrumentSpec(
+        "synthesis.workers", "gauge",
+        "process-pool size of the last snapshot synthesis (1 = serial)",
+    ),
+    # -- dataset ---------------------------------------------------------
+    InstrumentSpec(
+        "dataset.columnar_hits", "counter",
+        "aggregations served by the vectorized column store",
+    ),
+    InstrumentSpec(
+        "dataset.row_fallbacks", "counter",
+        "aggregations that fell back to the row-at-a-time path",
+    ),
     # -- ingestion -------------------------------------------------------
     InstrumentSpec(
         "ingest.events", "counter",

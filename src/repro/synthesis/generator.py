@@ -5,13 +5,24 @@
 substitute) plus the ground-truth side information the §5/§6 analyses
 legitimately had access to in the paper (catalogue sizes per publisher,
 the syndication case-study definition, which publishers drive DASH).
+
+Snapshot synthesis is embarrassingly parallel: every snapshot draws
+from its own RNG stream, derived via
+``np.random.SeedSequence(seed).spawn(...)``, and the sampler resets its
+per-snapshot state between batches.  ``generate(jobs=N)`` fans the
+snapshot loop out onto a :class:`~concurrent.futures.ProcessPoolExecutor`;
+because each stream is independent of execution order, a parallel build
+is byte-identical to the serial one (the determinism suite asserts
+equality of the saved JSONL and of every figure's rows).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from datetime import date
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from functools import partial
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,11 +61,152 @@ class EcosystemResult:
     case_study: Optional[CaseStudy]
     config: cal.EcosystemConfig
 
+    def __post_init__(self) -> None:
+        self._publisher_index: Dict[str, Publisher] = {
+            p.publisher_id: p for p in self.publishers
+        }
+
     def publisher(self, publisher_id: str) -> Publisher:
-        for candidate in self.publishers:
-            if candidate.publisher_id == publisher_id:
-                return candidate
-        raise KeyError(f"unknown publisher {publisher_id!r}")
+        try:
+            return self._publisher_index[publisher_id]
+        except KeyError:
+            raise KeyError(f"unknown publisher {publisher_id!r}") from None
+
+
+@dataclass
+class _SynthesisPlan:
+    """The deterministic pre-snapshot state of one build.
+
+    Everything here is a pure function of the config (all RNG the plan
+    consumes comes from ``default_rng(config.seed)`` in a fixed order),
+    so parallel workers rebuild it bit-for-bit from the config alone.
+    """
+
+    publishers: List[Publisher]
+    sampler: SessionSampler
+    schedule: SnapshotSchedule
+    snapshots: Tuple[date, ...]
+    dash_driver_ids: FrozenSet[str]
+    top3_ids: FrozenSet[str]
+    syndication_graph: Mapping[str, FrozenSet[str]]
+    case_study: Optional[CaseStudy]
+
+
+def _build_plan(config: cal.EcosystemConfig) -> _SynthesisPlan:
+    """Consume the seed-stream prefix: population, portfolios, graph."""
+    rng = np.random.default_rng(config.seed)
+    registry = default_registry()
+    with obs.span("synthesis.population"):
+        publishers = generate_publishers(rng, config.n_publishers)
+    obs.gauge("synthesis.publishers").set(len(publishers))
+    assigner = PortfolioAssigner(rng, publishers, registry)
+
+    ranked = sorted(
+        publishers, key=lambda p: p.daily_view_hours, reverse=True
+    )
+    top3_ids = frozenset(p.publisher_id for p in ranked[:3])
+    dash_drivers = frozenset(
+        p.publisher_id for p in ranked[: config.dash_driver_count]
+    )
+    for publisher_id in dash_drivers:
+        # The drivers adopted DASH early and, per Fig 3b's right-most
+        # bar, the biggest publishers consolidated onto two protocols
+        # (HLS + DASH) by the latest snapshot.
+        assigner.force_protocol(publisher_id, Protocol.DASH, 0.05)
+        assigner.force_protocol(publisher_id, Protocol.MSS, 0.99)
+        assigner.force_protocol(publisher_id, Protocol.HDS, 0.99)
+
+    graph = build_syndication_graph(rng, publishers)
+    case_study: Optional[CaseStudy] = None
+    if config.include_case_study:
+        case_study = assign_case_study(rng, publishers, graph)
+        # Every participant stores the catalogue on the common CDNs
+        # (Fig 18), so their QoE views on A/B are self-consistent.
+        for label in ("O",) + case_study.syndicator_labels:
+            assigner.ensure_cdns(
+                case_study.publisher_id(label),
+                cal.STORAGE_STUDY_COMMON_CDNS,
+            )
+    syndicator_owners = invert_graph(graph)
+
+    sampler = SessionSampler(
+        rng=rng,
+        publishers=publishers,
+        assigner=assigner,
+        registry=registry,
+        dash_driver_ids=dash_drivers,
+        top3_ids=top3_ids,
+        syndicator_owners=syndicator_owners,
+        case_study=case_study,
+    )
+
+    schedule = default_schedule()
+    snapshots = _select_snapshots(config, schedule)
+    return _SynthesisPlan(
+        publishers=publishers,
+        sampler=sampler,
+        schedule=schedule,
+        snapshots=snapshots,
+        dash_driver_ids=dash_drivers,
+        top3_ids=top3_ids,
+        syndication_graph=graph,
+        case_study=case_study,
+    )
+
+
+def _select_snapshots(
+    config: cal.EcosystemConfig, schedule: SnapshotSchedule
+) -> Tuple[date, ...]:
+    """Full bi-weekly schedule, or an evenly spaced subset.
+
+    ``snapshot_limit`` thins the schedule for fast test builds; the
+    first and last snapshots are always kept because the trend
+    analyses anchor on them.
+    """
+    dates = schedule.dates()
+    limit = config.snapshot_limit
+    if limit == 0 or limit >= len(dates):
+        return tuple(dates)
+    if limit < 2:
+        raise CalibrationError("snapshot_limit must be 0 or >= 2")
+    positions = np.linspace(0, len(dates) - 1, limit)
+    return tuple(dates[int(round(p))] for p in positions)
+
+
+def _snapshot_streams(
+    seed: int, n_snapshots: int
+) -> List[np.random.SeedSequence]:
+    """One independent child stream per snapshot, plus one for the
+    §6 case-study batch (the last entry)."""
+    return np.random.SeedSequence(seed).spawn(n_snapshots + 1)
+
+
+def _snapshot_t(index: int, n_snapshots: int) -> float:
+    last = n_snapshots - 1
+    return index / last if last > 0 else 1.0
+
+
+#: Per-process plan cache for pool workers.  Under the ``fork`` start
+#: method the parent's entry is inherited and reused directly; under
+#: ``spawn`` each worker rebuilds the plan from the config once.
+_WORKER_PLAN: Optional[Tuple[cal.EcosystemConfig, _SynthesisPlan]] = None
+
+
+def _snapshot_batch(
+    config: cal.EcosystemConfig, index: int
+) -> List[ViewRecord]:
+    """Worker entry point: all records of snapshot ``index``."""
+    global _WORKER_PLAN
+    if _WORKER_PLAN is None or _WORKER_PLAN[0] != config:
+        _WORKER_PLAN = (config, _build_plan(config))
+    plan = _WORKER_PLAN[1]
+    streams = _snapshot_streams(config.seed, len(plan.snapshots))
+    return plan.sampler.snapshot_records(
+        plan.snapshots[index],
+        _snapshot_t(index, len(plan.snapshots)),
+        scale=config.records_scale,
+        rng=np.random.default_rng(streams[index]),
+    )
 
 
 class EcosystemGenerator:
@@ -66,12 +218,16 @@ class EcosystemGenerator:
         self.config = config or cal.DEFAULT_CONFIG
         cal.validate_calibration()
 
-    def generate(self) -> EcosystemResult:
-        """Generate the dataset and ground truth for this config."""
+    def generate(self, jobs: int = 1) -> EcosystemResult:
+        """Generate the dataset and ground truth for this config.
+
+        ``jobs`` > 1 synthesizes snapshots on a process pool; the
+        output is byte-identical to the serial build.
+        """
         with obs.span(
-            "synthesis.generate", seed=self.config.seed
+            "synthesis.generate", seed=self.config.seed, jobs=jobs
         ) as span:
-            result = self._generate()
+            result = self._generate(jobs)
             span.set(
                 records=len(result.dataset),
                 snapshots=len(result.snapshots),
@@ -79,76 +235,60 @@ class EcosystemGenerator:
             )
         return result
 
-    def _generate(self) -> EcosystemResult:
+    def _generate(self, jobs: int = 1) -> EcosystemResult:
+        global _WORKER_PLAN
         config = self.config
-        rng = np.random.default_rng(config.seed)
-        registry = default_registry()
-        with obs.span("synthesis.population"):
-            publishers = generate_publishers(rng, config.n_publishers)
-        obs.gauge("synthesis.publishers").set(len(publishers))
-        assigner = PortfolioAssigner(rng, publishers, registry)
+        if jobs < 1:
+            raise CalibrationError("jobs must be >= 1")
+        plan = _build_plan(config)
+        snapshots = plan.snapshots
+        streams = _snapshot_streams(config.seed, len(snapshots))
+        obs.gauge("synthesis.workers").set(jobs)
 
-        ranked = sorted(
-            publishers, key=lambda p: p.daily_view_hours, reverse=True
-        )
-        top3_ids = frozenset(p.publisher_id for p in ranked[:3])
-        dash_drivers = frozenset(
-            p.publisher_id for p in ranked[: config.dash_driver_count]
-        )
-        for publisher_id in dash_drivers:
-            # The drivers adopted DASH early and, per Fig 3b's right-most
-            # bar, the biggest publishers consolidated onto two protocols
-            # (HLS + DASH) by the latest snapshot.
-            assigner.force_protocol(publisher_id, Protocol.DASH, 0.05)
-            assigner.force_protocol(publisher_id, Protocol.MSS, 0.99)
-            assigner.force_protocol(publisher_id, Protocol.HDS, 0.99)
-
-        graph = build_syndication_graph(rng, publishers)
-        case_study: Optional[CaseStudy] = None
-        if config.include_case_study:
-            case_study = assign_case_study(rng, publishers, graph)
-            # Every participant stores the catalogue on the common CDNs
-            # (Fig 18), so their QoE views on A/B are self-consistent.
-            for label in ("O",) + case_study.syndicator_labels:
-                assigner.ensure_cdns(
-                    case_study.publisher_id(label),
-                    cal.STORAGE_STUDY_COMMON_CDNS,
-                )
-        syndicator_owners = invert_graph(graph)
-
-        sampler = SessionSampler(
-            rng=rng,
-            publishers=publishers,
-            assigner=assigner,
-            registry=registry,
-            dash_driver_ids=dash_drivers,
-            top3_ids=top3_ids,
-            syndicator_owners=syndicator_owners,
-            case_study=case_study,
-        )
-
-        schedule = default_schedule()
-        snapshots = self._select_snapshots(schedule)
-        records: List[ViewRecord] = []
-        last_index = len(snapshots) - 1
         record_counter = obs.counter("synthesis.records")
         snapshot_counter = obs.counter("synthesis.snapshots")
-        for index, snapshot in enumerate(snapshots):
-            t = index / last_index if last_index > 0 else 1.0
+        records: List[ViewRecord] = []
+        if jobs == 1 or len(snapshots) <= 1:
+            for index, snapshot in enumerate(snapshots):
+                with obs.span(
+                    "synthesis.snapshot", snapshot=snapshot.isoformat()
+                ) as span:
+                    batch = plan.sampler.snapshot_records(
+                        snapshot,
+                        _snapshot_t(index, len(snapshots)),
+                        scale=config.records_scale,
+                        rng=np.random.default_rng(streams[index]),
+                    )
+                    span.set(records=len(batch))
+                record_counter.inc(len(batch))
+                snapshot_counter.inc()
+                records.extend(batch)
+        else:
+            # Seed the worker cache before the pool starts: forked
+            # workers inherit the plan and skip the rebuild entirely.
+            _WORKER_PLAN = (config, plan)
             with obs.span(
-                "synthesis.snapshot", snapshot=snapshot.isoformat()
+                "synthesis.snapshot_pool", workers=jobs
             ) as span:
-                batch = sampler.snapshot_records(
-                    snapshot, t, scale=config.records_scale
-                )
-                span.set(records=len(batch))
-            record_counter.inc(len(batch))
-            snapshot_counter.inc()
-            records.extend(batch)
-        if case_study is not None:
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    batches = list(
+                        pool.map(
+                            partial(_snapshot_batch, config),
+                            range(len(snapshots)),
+                        )
+                    )
+                span.set(records=sum(len(b) for b in batches))
+            for batch in batches:
+                record_counter.inc(len(batch))
+                snapshot_counter.inc()
+                records.extend(batch)
+
+        if plan.case_study is not None:
             with obs.span("synthesis.case_study") as span:
-                batch = sampler.case_study_records(
-                    snapshots[-1], config.qoe_sessions
+                batch = plan.sampler.case_study_records(
+                    snapshots[-1],
+                    config.qoe_sessions,
+                    rng=np.random.default_rng(streams[-1]),
                 )
                 span.set(records=len(batch))
             record_counter.inc(len(batch))
@@ -156,41 +296,23 @@ class EcosystemGenerator:
 
         return EcosystemResult(
             dataset=Dataset(records),
-            publishers=tuple(publishers),
-            schedule=schedule,
+            publishers=tuple(plan.publishers),
+            schedule=plan.schedule,
             snapshots=tuple(snapshots),
-            dash_driver_ids=dash_drivers,
-            top3_ids=top3_ids,
-            syndication_graph=graph,
+            dash_driver_ids=plan.dash_driver_ids,
+            top3_ids=plan.top3_ids,
+            syndication_graph=plan.syndication_graph,
             catalogue_sizes={
-                p.publisher_id: p.catalogue_size for p in publishers
+                p.publisher_id: p.catalogue_size for p in plan.publishers
             },
-            case_study=case_study,
+            case_study=plan.case_study,
             config=config,
         )
 
-    def _select_snapshots(
-        self, schedule: SnapshotSchedule
-    ) -> Tuple[date, ...]:
-        """Full bi-weekly schedule, or an evenly spaced subset.
-
-        ``snapshot_limit`` thins the schedule for fast test builds; the
-        first and last snapshots are always kept because the trend
-        analyses anchor on them.
-        """
-        dates = schedule.dates()
-        limit = self.config.snapshot_limit
-        if limit == 0 or limit >= len(dates):
-            return tuple(dates)
-        if limit < 2:
-            raise CalibrationError("snapshot_limit must be 0 or >= 2")
-        positions = np.linspace(0, len(dates) - 1, limit)
-        return tuple(dates[int(round(p))] for p in positions)
-
 
 def generate_default_dataset(
-    seed: int = 2018, snapshot_limit: int = 0
+    seed: int = 2018, snapshot_limit: int = 0, jobs: int = 1
 ) -> EcosystemResult:
     """Convenience wrapper used by examples, tests and benches."""
     config = cal.EcosystemConfig(seed=seed, snapshot_limit=snapshot_limit)
-    return EcosystemGenerator(config).generate()
+    return EcosystemGenerator(config).generate(jobs=jobs)

@@ -106,9 +106,27 @@ class SessionSampler:
     # ------------------------------------------------------------------
 
     def snapshot_records(
-        self, snapshot: date, t: float, scale: float = 1.0
+        self,
+        snapshot: date,
+        t: float,
+        scale: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
     ) -> List[ViewRecord]:
-        """All records for one bi-weekly snapshot."""
+        """All records for one bi-weekly snapshot.
+
+        When ``rng`` is given, the snapshot is sampled from that stream
+        and all per-snapshot sampling state (SDK round-robin cursors,
+        duration strata pools) is reset first.  Each snapshot is then a
+        pure function of (construction-time state, snapshot stream), so
+        snapshots can be generated out of order — or in parallel
+        worker processes — and still match a serial build byte for
+        byte.  The generator derives one stream per snapshot via
+        ``np.random.SeedSequence(seed).spawn(...)``.
+        """
+        if rng is not None:
+            self._rng = rng
+            self._sdk_cursor.clear()
+            self._duration_strata_pool.clear()
         records: List[ViewRecord] = []
         for publisher_id in sorted(self._publishers):
             records.extend(
@@ -495,14 +513,21 @@ class SessionSampler:
     # ------------------------------------------------------------------
 
     def case_study_records(
-        self, snapshot: date, sessions_per_combo: int
+        self,
+        snapshot: date,
+        sessions_per_combo: int,
+        rng: Optional[np.random.Generator] = None,
     ) -> List[ViewRecord]:
         """Simulated owner/syndicator sessions for the popular video.
 
         California iPad clients over WiFi, per (ISP, CDN) combination;
         network draws are paired across publishers so QoE differences
-        come from the ladders alone.
+        come from the ladders alone.  Like :meth:`snapshot_records`,
+        an explicit ``rng`` makes the batch independent of how many
+        snapshots were sampled before it.
         """
+        if rng is not None:
+            self._rng = rng
         if self._case_study is None:
             return []
         study = self._case_study

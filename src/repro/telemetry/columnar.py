@@ -1,0 +1,185 @@
+"""Columnar backend for :class:`~repro.telemetry.dataset.Dataset`.
+
+A :class:`ColumnStore` mirrors one immutable tuple of
+:class:`~repro.telemetry.records.ViewRecord` as NumPy arrays, built
+lazily per column and shared by every view sliced from the same root
+dataset.  Categorical fields (snapshot, publisher, video id, ...) are
+interned into integer codes so group-bys reduce to ``np.bincount`` over
+codes; numeric measures (view-hours, views) are plain float64 arrays.
+
+Derived columns — values computed from a record rather than stored on
+it, such as the protocol detected from the URL — are registered through
+:class:`ColumnKey`: a *named* single-valued record function.  The store
+evaluates the function once per record on first use and memoizes the
+codes under the key's name, so every analysis that groups by the same
+derived key shares one classification pass.  A derived function may
+return ``None`` for out-of-scope records; those rows receive the
+sentinel code ``-1`` and are excluded from group-bys.
+
+Everything here is immutable after construction of the record tuple:
+columns are only ever *added* to the caches, never changed, which is
+why aggregation memoization in the dataset layer needs no invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.records import ViewRecord
+
+#: Sentinel code for records a derived column does not classify.
+OUT_OF_SCOPE = -1
+
+
+@dataclass(frozen=True)
+class ColumnKey:
+    """A named, single-valued derived column.
+
+    ``name`` identifies the column in the store's cache (two keys with
+    the same name must compute the same values); ``fn`` maps a record
+    to a hashable value, or ``None`` when the record is out of scope.
+    """
+
+    name: str
+    fn: Callable[[ViewRecord], object]
+
+    def __repr__(self) -> str:  # fn identity is noise in test output
+        return f"ColumnKey({self.name!r})"
+
+
+class ColumnStore:
+    """Lazily materialized column arrays over one record tuple."""
+
+    def __init__(self, records: Tuple[ViewRecord, ...]) -> None:
+        self.records = records
+        self._codes: Dict[str, Tuple[np.ndarray, Tuple[object, ...]]] = {}
+        self._numeric: Dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Columns
+    # ------------------------------------------------------------------
+
+    def numeric(self, name: str) -> np.ndarray:
+        """A float64 measure column (``view_hours`` or ``views``)."""
+        column = self._numeric.get(name)
+        if column is None:
+            if name == "view_hours":
+                column = np.fromiter(
+                    (r.weight * r.view_duration_hours for r in self.records),
+                    dtype=np.float64,
+                    count=len(self.records),
+                )
+            elif name == "views":
+                column = np.fromiter(
+                    (r.weight for r in self.records),
+                    dtype=np.float64,
+                    count=len(self.records),
+                )
+            else:
+                raise KeyError(f"unknown numeric column {name!r}")
+            self._numeric[name] = column
+        return column
+
+    def field_codes(
+        self, field: str
+    ) -> Tuple[np.ndarray, Tuple[object, ...]]:
+        """Interned codes for a stored record attribute."""
+        cached = self._codes.get(field)
+        if cached is None:
+            cached = self._intern(
+                field, lambda record: getattr(record, field)
+            )
+        return cached
+
+    def derived_codes(
+        self, key: ColumnKey
+    ) -> Tuple[np.ndarray, Tuple[object, ...]]:
+        """Interned codes for a derived column, memoized by name."""
+        cached = self._codes.get(key.name)
+        if cached is None:
+            cached = self._intern(key.name, key.fn)
+        return cached
+
+    def codes_for(
+        self, key: "str | ColumnKey"
+    ) -> Tuple[np.ndarray, Tuple[object, ...]]:
+        if isinstance(key, ColumnKey):
+            return self.derived_codes(key)
+        return self.field_codes(key)
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+
+    def _intern(
+        self, name: str, fn: Callable[[ViewRecord], object]
+    ) -> Tuple[np.ndarray, Tuple[object, ...]]:
+        """One pass over the records: value -> first-appearance code."""
+        table: Dict[object, int] = {}
+        codes = np.empty(len(self.records), dtype=np.int64)
+        for i, record in enumerate(self.records):
+            value = fn(record)
+            if value is None:
+                codes[i] = OUT_OF_SCOPE
+                continue
+            code = table.get(value)
+            if code is None:
+                code = len(table)
+                table[value] = code
+            codes[i] = code
+        result = (codes, tuple(table))
+        self._codes[name] = result
+        return result
+
+
+def grouped_sum(
+    codes: np.ndarray,
+    values: Tuple[object, ...],
+    weights: np.ndarray,
+    mask: Optional[np.ndarray],
+) -> Dict[object, float]:
+    """Sum ``weights`` per code under ``mask``; out-of-scope dropped.
+
+    Groups with no in-scope record are absent from the result (matching
+    the row-at-a-time path); groups that appear but sum to zero are
+    kept at 0.0.
+    """
+    if mask is not None:
+        codes = codes[mask]
+        weights = weights[mask]
+    in_scope = codes >= 0
+    if not in_scope.all():
+        codes = codes[in_scope]
+        weights = weights[in_scope]
+    sums = np.bincount(codes, weights=weights, minlength=len(values))
+    present = np.bincount(codes, minlength=len(values))
+    return {
+        values[i]: float(sums[i]) for i in np.flatnonzero(present > 0)
+    }
+
+
+def distinct_pairs(
+    codes_a: np.ndarray,
+    n_a: int,
+    codes_b: np.ndarray,
+    n_b: int,
+    mask: Optional[np.ndarray],
+) -> np.ndarray:
+    """Unique in-scope ``(a, b)`` code pairs, encoded as ``a * n_b + b``.
+
+    Rows where either side is out of scope are dropped.  Used for
+    "distinct publishers per value" and "distinct values per publisher"
+    style counts without building per-group Python sets.
+    """
+    if mask is not None:
+        codes_a = codes_a[mask]
+        codes_b = codes_b[mask]
+    in_scope = (codes_a >= 0) & (codes_b >= 0)
+    combo = codes_a[in_scope] * np.int64(max(n_b, 1)) + codes_b[in_scope]
+    return np.unique(combo)

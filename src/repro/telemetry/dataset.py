@@ -4,55 +4,123 @@ The analyses slice the dataset the way §3 describes: by snapshot, by
 publisher, by any record attribute — and aggregate by view-hours, by
 views, or by distinct video IDs.  Persistence is line-delimited JSON
 (gzipped when the path ends in ``.gz``).
+
+Slicing is **zero-copy**: ``filter``/``for_snapshot``/
+``exclude_publishers`` return views that share the parent's
+:class:`~repro.telemetry.columnar.ColumnStore` plus a boolean mask, so
+stacking slices never re-materializes record tuples.  Aggregations
+whose grouping key is a known column (a record field name or a
+:class:`~repro.telemetry.columnar.ColumnKey`) dispatch to vectorized
+``bincount`` group-bys over interned codes and are memoized per
+(view, key) — safe because stores are immutable.  Arbitrary callables
+fall back to the row-at-a-time path; the two paths are
+property-tested to agree (``dataset.columnar_hits`` /
+``dataset.row_fallbacks`` count the dispatches).
 """
 
 from __future__ import annotations
 
+import csv
+import dataclasses
 import gzip
 import io
-from collections import defaultdict
 from datetime import date
 from pathlib import Path
 from typing import (
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
     Iterator,
     List,
     Optional,
-    Sequence,
     Set,
     Tuple,
     Union,
 )
 
+import numpy as np
+
+from repro import obs
 from repro.errors import DatasetError
+from repro.telemetry.columnar import (
+    ColumnKey,
+    ColumnStore,
+    distinct_pairs,
+    grouped_sum,
+)
 from repro.telemetry.records import ViewRecord
+
+#: A grouping key: record field name, named derived column, or callable.
+GroupKey = Union[str, ColumnKey, Callable[[ViewRecord], object]]
+
+#: Records per write batch in :meth:`Dataset.save`.
+_SAVE_BATCH = 4096
 
 
 class Dataset:
     """An immutable collection of weighted view records."""
 
-    def __init__(self, records: Iterable[ViewRecord]) -> None:
-        self._records: Tuple[ViewRecord, ...] = tuple(records)
-        self._by_snapshot: Optional[Dict[date, Tuple[ViewRecord, ...]]] = None
+    def __init__(
+        self, records: Iterable[ViewRecord], columnar: bool = True
+    ) -> None:
+        materialized: Tuple[ViewRecord, ...] = tuple(records)
+        self._records: Optional[Tuple[ViewRecord, ...]] = materialized
+        self._store: Optional[ColumnStore] = (
+            ColumnStore(materialized) if columnar else None
+        )
+        self._mask: Optional[np.ndarray] = None
+        self._length = len(materialized)
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        self._snapshots_cache: Optional[Tuple[date, ...]] = None
+        self._snapshot_views: Dict[date, "Dataset"] = {}
+        self._exclude_views: Dict[FrozenSet[str], "Dataset"] = {}
+        self._agg_cache: Dict[Tuple[str, object], object] = {}
+
+    @classmethod
+    def _view(cls, store: ColumnStore, mask: np.ndarray) -> "Dataset":
+        """A zero-copy slice sharing ``store`` under a boolean mask."""
+        view = cls.__new__(cls)
+        view._records = None
+        view._store = store
+        view._mask = mask
+        view._length = int(mask.sum())
+        view._init_caches()
+        return view
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._length
 
     def __iter__(self) -> Iterator[ViewRecord]:
-        return iter(self._records)
+        return iter(self.records)
 
     def __repr__(self) -> str:
         return (
-            f"Dataset({len(self._records)} records, "
+            f"Dataset({len(self)} records, "
             f"{len(self.snapshots())} snapshots, "
             f"{len(self.publishers())} publishers)"
         )
 
     @property
     def records(self) -> Tuple[ViewRecord, ...]:
+        if self._records is None:
+            assert self._store is not None and self._mask is not None
+            parent = self._store.records
+            self._records = tuple(
+                parent[i] for i in np.flatnonzero(self._mask)
+            )
         return self._records
+
+    @property
+    def columnar(self) -> bool:
+        """Whether vectorized dispatch is available for this dataset."""
+        return self._store is not None
 
     # ------------------------------------------------------------------
     # Slicing
@@ -60,7 +128,17 @@ class Dataset:
 
     def snapshots(self) -> List[date]:
         """Sorted distinct snapshot dates."""
-        return sorted(self._snapshot_index())
+        if self._snapshots_cache is None:
+            if self._store is not None:
+                codes, values = self._store.field_codes("snapshot")
+                if self._mask is not None:
+                    codes = codes[self._mask]
+                present = np.unique(codes)
+                found = sorted(values[i] for i in present)
+            else:
+                found = sorted({r.snapshot for r in self.records})
+            self._snapshots_cache = tuple(found)
+        return list(self._snapshots_cache)
 
     def latest_snapshot(self) -> date:
         snapshots = self.snapshots()
@@ -75,59 +153,118 @@ class Dataset:
         return snapshots[0]
 
     def for_snapshot(self, snapshot: date) -> "Dataset":
-        """Sub-dataset of one snapshot."""
-        index = self._snapshot_index()
-        if snapshot not in index:
-            raise DatasetError(f"no records for snapshot {snapshot}")
-        return Dataset(index[snapshot])
+        """Sub-dataset of one snapshot (a zero-copy mask view)."""
+        cached = self._snapshot_views.get(snapshot)
+        if cached is not None:
+            return cached
+        if self._store is None:
+            subset = tuple(
+                r for r in self.records if r.snapshot == snapshot
+            )
+            if not subset:
+                raise DatasetError(f"no records for snapshot {snapshot}")
+            view = Dataset(subset, columnar=False)
+        else:
+            codes, values = self._store.field_codes("snapshot")
+            try:
+                code = values.index(snapshot)
+            except ValueError:
+                code = -2  # never matches a real code
+            mask = codes == code
+            if self._mask is not None:
+                mask &= self._mask
+            if not mask.any():
+                raise DatasetError(f"no records for snapshot {snapshot}")
+            obs.counter("dataset.columnar_hits").inc()
+            view = Dataset._view(self._store, mask)
+        self._snapshot_views[snapshot] = view
+        return view
 
     def latest(self) -> "Dataset":
         return self.for_snapshot(self.latest_snapshot())
 
     def filter(self, predicate: Callable[[ViewRecord], bool]) -> "Dataset":
-        return Dataset(r for r in self._records if predicate(r))
+        """Records satisfying an arbitrary predicate.
+
+        The predicate runs row-at-a-time (it is opaque Python), but the
+        result is still a mask view — no record tuple is copied.
+        """
+        if self._store is None:
+            return Dataset(
+                (r for r in self.records if predicate(r)), columnar=False
+            )
+        obs.counter("dataset.row_fallbacks").inc()
+        parent = self._store.records
+        mask = np.zeros(len(parent), dtype=bool)
+        indices = (
+            np.flatnonzero(self._mask)
+            if self._mask is not None
+            else range(len(parent))
+        )
+        for i in indices:
+            if predicate(parent[i]):
+                mask[i] = True
+        return Dataset._view(self._store, mask)
 
     def exclude_publishers(self, publisher_ids: Iterable[str]) -> "Dataset":
         """Drop named publishers — the Figs 2c/6b 'remove the top N' cut."""
-        excluded = set(publisher_ids)
-        return self.filter(lambda r: r.publisher_id not in excluded)
+        excluded = frozenset(publisher_ids)
+        cached = self._exclude_views.get(excluded)
+        if cached is not None:
+            return cached
+        if self._store is None:
+            view: Dataset = self.filter(
+                lambda r: r.publisher_id not in excluded
+            )
+        else:
+            codes, values = self._store.field_codes("publisher_id")
+            banned = np.array(
+                [i for i, v in enumerate(values) if v in excluded],
+                dtype=np.int64,
+            )
+            mask = ~np.isin(codes, banned)
+            if self._mask is not None:
+                mask &= self._mask
+            obs.counter("dataset.columnar_hits").inc()
+            view = Dataset._view(self._store, mask)
+        self._exclude_views[excluded] = view
+        return view
 
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
 
     def publishers(self) -> Set[str]:
-        return {r.publisher_id for r in self._records}
+        cached = self._agg_cache.get(("publishers", None))
+        if cached is None:
+            if self._store is not None:
+                codes, values = self._store.field_codes("publisher_id")
+                if self._mask is not None:
+                    codes = codes[self._mask]
+                cached = {values[i] for i in np.unique(codes)}
+            else:
+                cached = {r.publisher_id for r in self.records}
+            self._agg_cache[("publishers", None)] = cached
+        return set(cached)
 
     def total_view_hours(self) -> float:
-        return sum(r.view_hours for r in self._records)
+        return self._total("view_hours")
 
     def total_views(self) -> float:
-        return sum(r.views for r in self._records)
+        return self._total("views")
 
-    def view_hours_by(
-        self, key: Callable[[ViewRecord], object]
-    ) -> Dict[object, float]:
-        """Sum view-hours grouped by an arbitrary record key."""
-        totals: Dict[object, float] = defaultdict(float)
-        for record in self._records:
-            totals[key(record)] += record.view_hours
-        return dict(totals)
+    def view_hours_by(self, key: GroupKey) -> Dict[object, float]:
+        """Sum view-hours grouped by a field, column key, or callable."""
+        return self._grouped("view_hours", key)
 
-    def views_by(
-        self, key: Callable[[ViewRecord], object]
-    ) -> Dict[object, float]:
-        """Sum views grouped by an arbitrary record key."""
-        totals: Dict[object, float] = defaultdict(float)
-        for record in self._records:
-            totals[key(record)] += record.views
-        return dict(totals)
+    def views_by(self, key: GroupKey) -> Dict[object, float]:
+        """Sum views grouped by a field, column key, or callable."""
+        return self._grouped("views", key)
 
     def publisher_view_hours(self) -> Dict[str, float]:
         """View-hours per publisher — the paper's size proxy."""
         return {
-            str(k): v
-            for k, v in self.view_hours_by(lambda r: r.publisher_id).items()
+            str(k): v for k, v in self.view_hours_by("publisher_id").items()
         }
 
     def top_publishers(self, n: int) -> List[str]:
@@ -141,12 +278,110 @@ class Dataset:
     def distinct_video_ids(self, publisher_id: Optional[str] = None) -> int:
         """Distinct video IDs, optionally for one publisher (§3 notes
         this measure is an under-estimate where coverage is partial)."""
-        ids = {
-            r.video_id
-            for r in self._records
-            if publisher_id is None or r.publisher_id == publisher_id
-        }
-        return len(ids)
+        cache_key = ("distinct_video_ids", publisher_id)
+        cached = self._agg_cache.get(cache_key)
+        if cached is None:
+            if self._store is not None:
+                obs.counter("dataset.columnar_hits").inc()
+                codes, _ = self._store.field_codes("video_id")
+                if self._mask is not None:
+                    codes = codes[self._mask]
+                if publisher_id is not None:
+                    pub_codes, pub_values = self._store.field_codes(
+                        "publisher_id"
+                    )
+                    if self._mask is not None:
+                        pub_codes = pub_codes[self._mask]
+                    try:
+                        wanted = pub_values.index(publisher_id)
+                    except ValueError:
+                        wanted = -2
+                    codes = codes[pub_codes == wanted]
+                cached = int(np.unique(codes).size)
+            else:
+                cached = len(
+                    {
+                        r.video_id
+                        for r in self.records
+                        if publisher_id is None
+                        or r.publisher_id == publisher_id
+                    }
+                )
+            self._agg_cache[cache_key] = cached
+        return cached
+
+    def publishers_per_value(self, key: GroupKey) -> Dict[object, int]:
+        """Distinct publishers observed per value of ``key``.
+
+        Backs the "% of publishers supporting X" series without
+        building per-value publisher sets.
+        """
+        cache_key = ("publishers_per_value", _cache_token(key))
+        cached = self._agg_cache.get(cache_key)
+        if cached is None:
+            if self._store is not None and not callable(key):
+                obs.counter("dataset.columnar_hits").inc()
+                v_codes, v_values = self._store.codes_for(key)
+                p_codes, _ = self._store.field_codes("publisher_id")
+                pairs = distinct_pairs(
+                    v_codes, len(v_values), p_codes, self._store_n_pub(),
+                    self._mask,
+                )
+                counts = np.bincount(
+                    pairs // np.int64(max(self._store_n_pub(), 1)),
+                    minlength=len(v_values),
+                )
+                cached = {
+                    v_values[i]: int(counts[i])
+                    for i in np.flatnonzero(counts > 0)
+                }
+            else:
+                fn = _row_fn(key)
+                sets: Dict[object, Set[str]] = {}
+                for record in self.records:
+                    value = fn(record)
+                    if value is None:
+                        continue
+                    sets.setdefault(value, set()).add(record.publisher_id)
+                cached = {v: len(pubs) for v, pubs in sets.items()}
+            self._agg_cache[cache_key] = cached
+        return dict(cached)
+
+    def values_per_publisher(self, key: GroupKey) -> Dict[str, int]:
+        """Distinct values of ``key`` observed per publisher.
+
+        Backs the Figs 3a/9a/12a per-publisher instance counts.
+        """
+        cache_key = ("values_per_publisher", _cache_token(key))
+        cached = self._agg_cache.get(cache_key)
+        if cached is None:
+            if self._store is not None and not callable(key):
+                obs.counter("dataset.columnar_hits").inc()
+                v_codes, v_values = self._store.codes_for(key)
+                p_codes, p_values = self._store.field_codes("publisher_id")
+                pairs = distinct_pairs(
+                    p_codes, len(p_values), v_codes, len(v_values),
+                    self._mask,
+                )
+                counts = np.bincount(
+                    pairs // np.int64(max(len(v_values), 1)),
+                    minlength=len(p_values),
+                )
+                cached = {
+                    str(p_values[i]): int(counts[i])
+                    for i in np.flatnonzero(counts > 0)
+                }
+            else:
+                fn = _row_fn(key)
+                sets: Dict[str, Set[object]] = {}
+                for record in self.records:
+                    value = fn(record)
+                    if value is None:
+                        continue
+                    sets.setdefault(record.publisher_id, set()).add(value)
+                cached = {p: len(vals) for p, vals in sets.items()}
+            self._agg_cache[cache_key] = cached
+        return dict(cached)
 
     def explode(self) -> "Dataset":
         """Expand weighted records into unit-weight records.
@@ -156,39 +391,38 @@ class Dataset:
         weighted representation and for the weighting ablation bench.
         """
         exploded: List[ViewRecord] = []
-        for record in self._records:
+        for record in self.records:
             weight = record.weight
             if abs(weight - round(weight)) > 1e-9:
                 raise DatasetError(
                     f"cannot explode non-integral weight {weight}"
                 )
-            for _ in range(int(round(weight))):
-                exploded.append(
-                    ViewRecord(
-                        **{
-                            **record.to_json_dict(),
-                            "snapshot": record.snapshot,
-                            "content_type": record.content_type,
-                            "connection": record.connection,
-                            "cdn_names": record.cdn_names,
-                            "bitrate_ladder_kbps": record.bitrate_ladder_kbps,
-                            "weight": 1.0,
-                        }
-                    )
-                )
-        return Dataset(exploded)
+            unit = dataclasses.replace(record, weight=1.0)
+            exploded.extend([unit] * int(round(weight)))
+        return Dataset(exploded, columnar=self.columnar)
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the dataset as JSONL (.gz for gzip compression)."""
+        """Write the dataset as JSONL (.gz for gzip compression).
+
+        Lines are joined in batches so the hot path is one buffered
+        write per :data:`_SAVE_BATCH` records, not two per record.
+        """
         path = Path(path)
         opener = gzip.open if path.suffix == ".gz" else io.open
         with opener(path, "wt", encoding="utf-8") as handle:
-            for record in self._records:
-                handle.write(record.to_json())
+            batch: List[str] = []
+            for record in self.records:
+                batch.append(record.to_json())
+                if len(batch) >= _SAVE_BATCH:
+                    handle.write("\n".join(batch))
+                    handle.write("\n")
+                    batch.clear()
+            if batch:
+                handle.write("\n".join(batch))
                 handle.write("\n")
 
     def to_csv(self, path: Union[str, Path]) -> None:
@@ -198,8 +432,6 @@ class Dataset:
         written as their wire values.  CSV is an export format only —
         round-tripping uses :meth:`save`/:meth:`load`.
         """
-        import csv
-
         fieldnames = [
             "snapshot", "publisher_id", "url", "device_model", "os_name",
             "cdn_names", "bitrate_ladder_kbps", "view_duration_hours",
@@ -210,7 +442,7 @@ class Dataset:
         with open(path, "w", newline="", encoding="utf-8") as handle:
             writer = csv.DictWriter(handle, fieldnames=fieldnames)
             writer.writeheader()
-            for record in self._records:
+            for record in self.records:
                 row = record.to_json_dict()
                 row["cdn_names"] = "|".join(record.cdn_names)
                 row["bitrate_ladder_kbps"] = "|".join(
@@ -219,8 +451,14 @@ class Dataset:
                 writer.writerow(row)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Dataset":
-        """Load a dataset previously written by :meth:`save`."""
+    def load(
+        cls, path: Union[str, Path], limit: Optional[int] = None
+    ) -> "Dataset":
+        """Load a dataset previously written by :meth:`save`.
+
+        ``limit`` stops after that many records — a fast path for
+        benches and smoke tests over large files.
+        """
         path = Path(path)
         if not path.exists():
             raise DatasetError(f"dataset file not found: {path}")
@@ -228,6 +466,8 @@ class Dataset:
         records: List[ViewRecord] = []
         with opener(path, "rt", encoding="utf-8") as handle:
             for line_number, line in enumerate(handle, start=1):
+                if limit is not None and len(records) >= limit:
+                    break
                 line = line.strip()
                 if not line:
                     continue
@@ -243,12 +483,74 @@ class Dataset:
     # Internal
     # ------------------------------------------------------------------
 
-    def _snapshot_index(self) -> Dict[date, Tuple[ViewRecord, ...]]:
-        if self._by_snapshot is None:
-            index: Dict[date, List[ViewRecord]] = defaultdict(list)
-            for record in self._records:
-                index[record.snapshot].append(record)
-            self._by_snapshot = {
-                key: tuple(value) for key, value in index.items()
-            }
-        return self._by_snapshot
+    def _store_n_pub(self) -> int:
+        assert self._store is not None
+        _, values = self._store.field_codes("publisher_id")
+        return len(values)
+
+    def _total(self, measure: str) -> float:
+        cache_key = ("total", measure)
+        cached = self._agg_cache.get(cache_key)
+        if cached is None:
+            if self._store is not None:
+                column = self._store.numeric(measure)
+                if self._mask is not None:
+                    column = column[self._mask]
+                cached = float(np.sum(column))
+            elif measure == "view_hours":
+                cached = sum(r.view_hours for r in self.records)
+            else:
+                cached = sum(r.views for r in self.records)
+            self._agg_cache[cache_key] = cached
+        return cached
+
+    def _grouped(self, measure: str, key: GroupKey) -> Dict[object, float]:
+        if callable(key) and not isinstance(key, ColumnKey):
+            # Opaque callables keep their historical semantics exactly:
+            # every return value (including None) is a group.
+            obs.counter("dataset.row_fallbacks").inc()
+            totals: Dict[object, float] = {}
+            attr = "view_hours" if measure == "view_hours" else "views"
+            for record in self.records:
+                value = key(record)
+                totals[value] = totals.get(value, 0.0) + getattr(
+                    record, attr
+                )
+            return totals
+        cache_key = (measure, _cache_token(key))
+        cached = self._agg_cache.get(cache_key)
+        if cached is None:
+            if self._store is not None:
+                obs.counter("dataset.columnar_hits").inc()
+                codes, values = self._store.codes_for(key)
+                cached = grouped_sum(
+                    codes, values, self._store.numeric(measure), self._mask
+                )
+            else:
+                fn = _row_fn(key)
+                attr = "view_hours" if measure == "view_hours" else "views"
+                cached = {}
+                for record in self.records:
+                    value = fn(record)
+                    if value is None:
+                        continue
+                    cached[value] = cached.get(value, 0.0) + getattr(
+                        record, attr
+                    )
+            self._agg_cache[cache_key] = cached
+        return dict(cached)
+
+
+def _cache_token(key: GroupKey) -> object:
+    """Hashable cache identity of a non-callable grouping key."""
+    return key.name if isinstance(key, ColumnKey) else key
+
+
+def _row_fn(key: GroupKey) -> Callable[[ViewRecord], object]:
+    """Row-path evaluator matching the columnar scope semantics."""
+    if isinstance(key, ColumnKey):
+        return key.fn
+    if callable(key):
+        return key
+    field = str(key)
+    return lambda record: getattr(record, field)
