@@ -144,6 +144,43 @@ def _build_parser() -> argparse.ArgumentParser:
     # The demo only needs a couple of snapshots' worth of sessions.
     ingest.set_defaults(snapshots=2)
 
+    testkit = sub.add_parser(
+        "testkit",
+        help="scenario harness: differential + metamorphic oracle matrix",
+        parents=[obs_parent],
+    )
+    testkit.add_argument(
+        "action",
+        choices=["run", "list"],
+        help="run the oracle matrix, or list scenarios and oracles",
+    )
+    testkit.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="scenario to run (repeatable; default: all registered)",
+    )
+    testkit.add_argument(
+        "--oracle",
+        action="append",
+        dest="oracle_names",
+        metavar="NAME",
+        help="oracle to run (repeatable; default: all registered)",
+    )
+    testkit.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable oracle report on stdout",
+    )
+    testkit.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON oracle report to PATH",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="replint static analysis: determinism/units/error hygiene",
@@ -292,10 +329,62 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "metrics":
         return _metrics(args)
 
+    if args.command == "testkit":
+        return _testkit(args)
+
     if args.command == "lint":
         return _lint(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _testkit(args: argparse.Namespace) -> int:
+    """Run (or list) the scenario x oracle matrix; exit 1 on failure."""
+    from pathlib import Path
+
+    from repro.errors import TestkitError
+    from repro.testkit import (
+        get_oracle,
+        get_scenario,
+        oracle_names,
+        run_matrix,
+        scenario_names,
+    )
+
+    if args.action == "list":
+        scenario_rows = [
+            {
+                "scenario": name,
+                "description": get_scenario(name).description,
+            }
+            for name in scenario_names()
+        ]
+        oracle_rows = [
+            {
+                "oracle": name,
+                "kind": get_oracle(name).kind,
+                "description": get_oracle(name).description,
+            }
+            for name in oracle_names()
+        ]
+        print(format_table(scenario_rows))
+        print()
+        print(format_table(oracle_rows))
+        return 0
+
+    try:
+        report = run_matrix(
+            scenarios=args.scenarios or None,
+            oracles=args.oracle_names or None,
+        )
+    except TestkitError as error:
+        print(f"testkit: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"wrote oracle report to {args.out}", file=sys.stderr)
+    print(report.to_json() if args.as_json else report.format_text())
+    return 0 if report.ok else 1
 
 
 def _metrics(args: argparse.Namespace) -> int:

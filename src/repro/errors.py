@@ -56,6 +56,23 @@ class IngestError(DatasetError):
     """The fault-tolerant ingestion pipeline was misconfigured."""
 
 
+class TestkitError(ReproError):
+    """The scenario/oracle harness was misconfigured."""
+
+    # The Test* name would otherwise be collected by pytest when
+    # imported into a test module's namespace.
+    __test__ = False
+
+
+class OracleFailure(TestkitError):
+    """An oracle's equivalence or metamorphic relation was violated.
+
+    Raised by :class:`repro.testkit.oracles.Check` at the first failing
+    elementary assertion; the message names the scenario-independent
+    inequality found so a report line is actionable on its own.
+    """
+
+
 class TransportError(ReproError):
     """A (possibly transient) transport-level delivery failure."""
 

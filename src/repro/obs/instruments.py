@@ -133,6 +133,20 @@ CATALOG: Tuple[InstrumentSpec, ...] = (
         "figure regenerations by figure id",
         labels=("figure",),
     ),
+    # -- testkit ---------------------------------------------------------
+    InstrumentSpec(
+        "testkit.oracles", "counter",
+        "oracle executions by kind and outcome status",
+        labels=("kind", "status"),
+    ),
+    InstrumentSpec(
+        "testkit.checks", "counter",
+        "elementary oracle assertions evaluated",
+    ),
+    InstrumentSpec(
+        "testkit.scenarios", "gauge",
+        "scenarios in the most recent matrix run",
+    ),
 )
 
 

@@ -457,8 +457,12 @@ class Dataset:
         """Load a dataset previously written by :meth:`save`.
 
         ``limit`` stops after that many records — a fast path for
-        benches and smoke tests over large files.
+        benches and smoke tests over large files.  ``limit=0`` is an
+        explicit empty load; a negative limit is rejected rather than
+        silently truncating to nothing.
         """
+        if limit is not None and limit < 0:
+            raise DatasetError(f"load limit must be >= 0, got {limit}")
         path = Path(path)
         if not path.exists():
             raise DatasetError(f"dataset file not found: {path}")

@@ -1,0 +1,76 @@
+"""``repro.testkit`` — deterministic scenario harness with oracles.
+
+The reproduction has four fast-moving layers (synthesis, ingest, the
+columnar dataset, the analyses/figures) whose agreement used to be
+checked only piecewise.  This package checks the *whole chain* at once:
+
+* a **scenario** (:mod:`repro.testkit.scenario`) is a declarative spec
+  that composes seeded synthesis -> optional fault-injected ingest ->
+  :class:`~repro.telemetry.dataset.Dataset` -> every registered figure
+  into one reproducible run artifact (:class:`ScenarioRun`);
+* **differential oracles** (:mod:`repro.testkit.differential`) execute
+  a scenario along independent code paths — row vs columnar dispatch,
+  serial vs parallel synthesis, strict vs repair ingest on clean
+  input, save/load and manifest round-trips — and assert equivalence;
+* **metamorphic oracles** (:mod:`repro.testkit.metamorphic`) assert
+  relations that must hold between a run and a transformed run:
+  record-permutation invariance, publisher-subset monotonicity,
+  view-hour scale invariance, and seed sensitivity;
+* the **report** layer (:mod:`repro.testkit.report`) runs the full
+  scenario x oracle matrix, wires counts into :mod:`repro.obs`, and
+  renders a machine-readable JSON report (``repro testkit run --json``).
+
+Every later scaling PR runs this matrix: if a refactor changes any
+pipeline stage's observable behaviour, some oracle names the exact
+inequality.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OracleFailure, TestkitError
+from repro.testkit.oracles import (
+    Check,
+    Oracle,
+    OracleOutcome,
+    get_oracle,
+    oracle,
+    oracle_names,
+    oracles_by_kind,
+    run_oracle,
+)
+from repro.testkit.scenario import (
+    IngestSpec,
+    ScenarioRun,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.testkit.report import OracleReport, run_matrix
+
+# Importing the oracle packs registers them with the registry.
+from repro.testkit import differential as _differential  # noqa: F401
+from repro.testkit import metamorphic as _metamorphic  # noqa: F401
+
+__all__ = [
+    "Check",
+    "IngestSpec",
+    "Oracle",
+    "OracleFailure",
+    "OracleOutcome",
+    "OracleReport",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "TestkitError",
+    "get_oracle",
+    "get_scenario",
+    "oracle",
+    "oracle_names",
+    "oracles_by_kind",
+    "register_scenario",
+    "run_matrix",
+    "run_oracle",
+    "run_scenario",
+    "scenario_names",
+]

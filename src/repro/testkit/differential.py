@@ -1,0 +1,314 @@
+"""Differential oracles: independent code paths must agree.
+
+Each oracle executes the scenario along two (or more) implementations
+that are supposed to be observationally equivalent and asserts they
+are.  These are the contracts the columnar backend (PR 4), the
+parallel generator (PR 4), the robust ingest path (PR 1), and the
+manifest writers/parsers (seed) each promised individually — here they
+are enforced together, per scenario, forever.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import List
+
+from repro.constants import HTTP_ADAPTIVE_PROTOCOLS, ContentType, Protocol
+from repro.entities.ladder import BitrateLadder
+from repro.entities.video import Video
+from repro.packaging.manifest import manifest_writer_for, parser_for
+from repro.packaging.manifest.detect import (
+    detect_protocol,
+    sample_manifest_url,
+)
+from repro.telemetry.dataset import Dataset
+from repro.telemetry.ingest import (
+    ErrorPolicy,
+    IngestPipeline,
+    events_from_records,
+)
+from repro.testkit.oracles import Check, Skip, oracle
+from repro.testkit.scenario import ScenarioRun
+
+#: Records replayed through the clean strict-vs-repair comparison.
+_CLEAN_REPLAY_LIMIT = 200
+
+#: Distinct dataset ladders exercised per protocol round-trip.
+_LADDER_SAMPLE = 3
+
+
+@oracle(
+    "differential",
+    "row-vs-columnar",
+    "every figure agrees between vectorized and row-at-a-time dispatch",
+)
+def row_vs_columnar(run: ScenarioRun, check: Check) -> str:
+    """The PR 4 parity contract, over the scenario's whole figure set."""
+    base, row = run.result.dataset, run.row_result().dataset
+    check.that(base.columnar, "base dataset must be columnar-backed")
+    check.that(not row.columnar, "row variant must not be columnar-backed")
+    check.equal(len(row), len(base), "record count")
+    check.equal(row.snapshots(), base.snapshots(), "snapshot list")
+    check.equal(row.publishers(), base.publishers(), "publisher set")
+    check.close(
+        row.total_view_hours(), base.total_view_hours(), "total view-hours"
+    )
+    check.dicts_close(
+        row.publisher_view_hours(),
+        base.publisher_view_hours(),
+        "publisher view-hours",
+    )
+    for figure_id in run.spec.figures():
+        check.rows_equal(
+            run.figure_rows(figure_id, "row"),
+            run.figure_rows(figure_id),
+            f"figure {figure_id}",
+            rel=1e-9,
+        )
+    return (
+        f"{len(run.spec.figures())} figures + 5 aggregations agree "
+        "across dispatch paths"
+    )
+
+
+@oracle(
+    "differential",
+    "serial-vs-parallel",
+    "jobs=N synthesis is byte-identical to the serial build",
+)
+def serial_vs_parallel(run: ScenarioRun, check: Check) -> str:
+    """The PR 4 determinism contract: same bytes, same figure rows."""
+    check.that(
+        run.dataset_bytes("parallel") == run.dataset_bytes("base"),
+        f"jobs={run.spec.jobs} build serializes to different bytes than "
+        "the serial build",
+    )
+    for figure_id in run.spec.figures():
+        check.rows_equal(
+            run.figure_rows(figure_id, "parallel"),
+            run.figure_rows(figure_id),
+            f"figure {figure_id}",
+        )
+    return (
+        f"serial and jobs={run.spec.jobs} builds are byte-identical "
+        f"({len(run.dataset_bytes('base'))} bytes, "
+        f"{len(run.spec.figures())} figures)"
+    )
+
+
+@oracle(
+    "differential",
+    "strict-vs-repair-clean",
+    "on clean input every error policy folds the same records",
+)
+def strict_vs_repair_clean(run: ScenarioRun, check: Check) -> str:
+    """A lenient policy must be invisible when nothing is wrong."""
+    records = run.clean_records(_CLEAN_REPLAY_LIMIT)
+    check.that(len(records) > 0, "scenario produced no replayable records")
+    folded = {}
+    reports = {}
+    for policy in ErrorPolicy:
+        events = events_from_records(records)
+        report = IngestPipeline(policy).run(events)
+        folded[policy] = report.records
+        reports[policy] = report
+    strict = folded[ErrorPolicy.STRICT]
+    check.that(len(strict) > 0, "strict ingest folded no records")
+    for policy in (ErrorPolicy.QUARANTINE, ErrorPolicy.REPAIR):
+        check.equal(
+            len(folded[policy]), len(strict), f"{policy.value} record count"
+        )
+        check.that(
+            folded[policy] == strict,
+            f"{policy.value} folded different records than strict on "
+            "clean input",
+        )
+        report = reports[policy]
+        check.equal(report.quarantined, 0, f"{policy.value} quarantined")
+        check.equal(report.repaired, 0, f"{policy.value} repaired")
+        check.equal(report.deduped, 0, f"{policy.value} deduped")
+        check.equal(report.reaped, 0, f"{policy.value} reaped")
+    return (
+        f"{len(strict)} records from {len(records)} clean sessions fold "
+        "identically under strict/quarantine/repair"
+    )
+
+
+@oracle(
+    "differential",
+    "save-load-roundtrip",
+    "save -> load(limit=None) is the identity, gzipped or not",
+)
+def save_load_roundtrip(run: ScenarioRun, check: Check) -> str:
+    dataset = run.result.dataset
+    with tempfile.TemporaryDirectory(prefix="repro-testkit-") as tmp:
+        for suffix in (".jsonl", ".jsonl.gz"):
+            path = Path(tmp) / f"dataset{suffix}"
+            dataset.save(path)
+            loaded = Dataset.load(path, limit=None)
+            check.equal(
+                len(loaded), len(dataset), f"{suffix} loaded record count"
+            )
+            check.that(
+                loaded.records == dataset.records,
+                f"{suffix} round-trip changed at least one record",
+            )
+        # A limited load must be an exact prefix, not a resampling.
+        half = max(1, len(dataset) // 2)
+        partial = Dataset.load(Path(tmp) / "dataset.jsonl", limit=half)
+        check.that(
+            partial.records == dataset.records[:half],
+            f"load(limit={half}) is not the first {half} records",
+        )
+    return (
+        f"{len(dataset)} records round-trip bit-exact through .jsonl "
+        "and .jsonl.gz, and limited loads are exact prefixes"
+    )
+
+
+def _sample_ladders(run: ScenarioRun) -> List[BitrateLadder]:
+    """First few distinct ladders observed in the scenario's dataset."""
+    seen = []
+    for record in run.result.dataset.records:
+        if record.bitrate_ladder_kbps not in seen:
+            seen.append(record.bitrate_ladder_kbps)
+        if len(seen) >= _LADDER_SAMPLE:
+            break
+    return [BitrateLadder.from_bitrates(b) for b in seen]
+
+
+@oracle(
+    "differential",
+    "manifest-roundtrip",
+    "emit -> detect -> parse agree for all five protocols",
+)
+def manifest_roundtrip(run: ScenarioRun, check: Check) -> str:
+    """Table 1 as a closed loop, using ladders the scenario generated."""
+    ladders = _sample_ladders(run)
+    check.that(len(ladders) > 0, "scenario dataset carries no ladders")
+    video = Video(
+        video_id="vid_testkit_rt",
+        duration_seconds=600.0,
+        content_type=ContentType.VOD,
+    )
+    base_url = "http://cdn-a.example.net"
+    for protocol in HTTP_ADAPTIVE_PROTOCOLS:
+        writer = manifest_writer_for(protocol)
+        parser = parser_for(protocol)
+        check.equal(
+            detect_protocol(writer.manifest_url(video, base_url)),
+            protocol,
+            f"{protocol.display_name} manifest URL detection",
+        )
+        for ladder in ladders:
+            info = parser.parse(writer.render(video, ladder, base_url))
+            check.equal(
+                info.protocol, protocol, f"{protocol.display_name} parse"
+            )
+            check.equal(
+                info.video_id,
+                video.video_id,
+                f"{protocol.display_name} video id",
+            )
+            check.that(
+                len(info.bitrates_kbps) == len(ladder),
+                f"{protocol.display_name} lost renditions: "
+                f"{len(info.bitrates_kbps)} != {len(ladder)}",
+            )
+            for parsed, original in zip(
+                info.bitrates_kbps, ladder.bitrates_kbps
+            ):
+                # Writers may legally round to whole kbps (HDS does),
+                # so allow up to 1 kbps of quantization.
+                check.close(
+                    parsed,
+                    original,
+                    f"{protocol.display_name} bitrate",
+                    rel=1e-6,
+                    abs_tol=1.0,
+                )
+    # The paper's two non-manifest protocols detect from URL shape.
+    check.equal(
+        detect_protocol(
+            sample_manifest_url(Protocol.RTMP, video.video_id, "cdn-a")
+        ),
+        Protocol.RTMP,
+        "RTMP scheme detection",
+    )
+    check.equal(
+        detect_protocol(
+            sample_manifest_url(Protocol.PROGRESSIVE, video.video_id, "cdn-a")
+        ),
+        Protocol.PROGRESSIVE,
+        "progressive extension detection",
+    )
+    return (
+        f"{len(HTTP_ADAPTIVE_PROTOCOLS)} adaptive protocols round-trip "
+        f"{len(ladders)} dataset ladders; RTMP + progressive detect"
+    )
+
+
+@oracle(
+    "differential",
+    "fault-ingest-replay",
+    "fault-injected ingestion is reproducible and fully accounted",
+)
+def fault_ingest_replay(run: ScenarioRun, check: Check) -> str:
+    """The ingest stage under faults: deterministic, accounted, ordered.
+
+    Two independent replays of the same corrupted stream must produce
+    identical reports, every input event must be accounted exactly once
+    (accepted + deduped + event-level dead letters), and repair must
+    never quarantine more than quarantine does.
+    """
+    if run.spec.ingest is None:
+        raise Skip(
+            f"scenario {run.spec.name!r} declares no ingest stage"
+        )
+    events_a, injector_a = run.corrupted_events()
+    events_b, injector_b = run.corrupted_events()
+    check.equal(
+        [(f.kind, f.index, f.session_id) for f in injector_b.log],
+        [(f.kind, f.index, f.session_id) for f in injector_a.log],
+        "fault injector audit log across replays",
+    )
+    check.that(
+        len(injector_a.log) > 0,
+        "fault injector applied no faults at "
+        f"rate {run.spec.ingest.fault_rate}",
+    )
+    reports = {}
+    for policy in (ErrorPolicy.QUARANTINE, ErrorPolicy.REPAIR):
+        report_a = IngestPipeline(policy).run(events_a)
+        report_b = IngestPipeline(policy).run(events_b)
+        check.that(
+            report_a.records == report_b.records,
+            f"{policy.value} replay folded different records",
+        )
+        check.equal(
+            report_b.reason_counts(),
+            report_a.reason_counts(),
+            f"{policy.value} replay reason counts",
+        )
+        check.equal(
+            report_a.accepted
+            + report_a.deduped
+            + report_a.event_quarantined,
+            report_a.total_events,
+            f"{policy.value} event accounting",
+        )
+        reports[policy] = report_a
+    check.that(
+        reports[ErrorPolicy.REPAIR].quarantined
+        <= reports[ErrorPolicy.QUARANTINE].quarantined,
+        "repair quarantined more events than quarantine: "
+        f"{reports[ErrorPolicy.REPAIR].quarantined} > "
+        f"{reports[ErrorPolicy.QUARANTINE].quarantined}",
+    )
+    quarantine = reports[ErrorPolicy.QUARANTINE]
+    return (
+        f"{quarantine.total_events} corrupted events replay "
+        f"deterministically ({len(injector_a.log)} faults, "
+        f"{quarantine.quarantined} quarantined)"
+    )

@@ -1,0 +1,170 @@
+"""Matrix runner and the machine-readable oracle report.
+
+:func:`run_matrix` executes every applicable oracle against every
+requested scenario and folds the outcomes into an
+:class:`OracleReport`, the artifact ``repro testkit run --json`` emits
+and CI archives.  The payload is deterministic (sorted keys, no
+timestamps) so two runs of the same tree diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.core.report import format_table
+from repro.testkit.oracles import (
+    FAIL,
+    PASS,
+    SKIP,
+    Oracle,
+    OracleOutcome,
+    get_oracle,
+    oracle_names,
+    run_oracle,
+)
+from repro.testkit.scenario import (
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+#: Schema version of the JSON payload; bump on incompatible change.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """All outcomes of one scenario x oracle matrix run."""
+
+    outcomes: tuple  # Tuple[OracleOutcome, ...]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == PASS)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == FAIL)
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == SKIP)
+
+    @property
+    def checks(self) -> int:
+        return sum(o.checks for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed and something actually passed."""
+        return self.failed == 0 and self.passed > 0
+
+    def failures(self) -> List[OracleOutcome]:
+        return [o for o in self.outcomes if o.status == FAIL]
+
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON-ready report body (deterministic ordering)."""
+        return {
+            "version": REPORT_VERSION,
+            "scenarios": sorted({o.scenario for o in self.outcomes}),
+            "oracles": sorted({o.oracle for o in self.outcomes}),
+            "outcomes": [
+                {
+                    "scenario": o.scenario,
+                    "oracle": o.oracle,
+                    "kind": o.kind,
+                    "status": o.status,
+                    "checks": o.checks,
+                    "detail": o.detail,
+                }
+                for o in sorted(
+                    self.outcomes, key=lambda o: (o.scenario, o.oracle)
+                )
+            ],
+            "summary": {
+                "pass": self.passed,
+                "fail": self.failed,
+                "skip": self.skipped,
+                "checks": self.checks,
+                "ok": self.ok,
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    def format_text(self) -> str:
+        """An aligned text table plus a one-line verdict."""
+        rows = [
+            {
+                "scenario": o.scenario,
+                "oracle": o.oracle,
+                "kind": o.kind,
+                "status": o.status.upper(),
+                "checks": o.checks,
+            }
+            for o in sorted(
+                self.outcomes, key=lambda o: (o.scenario, o.oracle)
+            )
+        ]
+        lines = [format_table(rows)]
+        for failure in self.failures():
+            lines.append(
+                f"FAIL {failure.scenario}/{failure.oracle}: "
+                f"{failure.detail}"
+            )
+        verdict = "OK" if self.ok else "FAILED"
+        lines.append(
+            f"{verdict}: {self.passed} passed, {self.failed} failed, "
+            f"{self.skipped} skipped ({self.checks} checks)"
+        )
+        return "\n".join(lines)
+
+
+def _resolve_scenarios(
+    scenarios: Optional[Sequence[object]],
+) -> List[ScenarioSpec]:
+    if scenarios is None:
+        return [get_scenario(name) for name in scenario_names()]
+    resolved = []
+    for item in scenarios:
+        spec = get_scenario(item) if isinstance(item, str) else item
+        resolved.append(spec)
+    return resolved
+
+
+def _resolve_oracles(
+    oracles: Optional[Sequence[object]],
+) -> List[Oracle]:
+    if oracles is None:
+        return [get_oracle(name) for name in oracle_names()]
+    return [
+        get_oracle(item) if isinstance(item, str) else item
+        for item in oracles
+    ]
+
+
+def run_matrix(
+    scenarios: Optional[Sequence[object]] = None,
+    oracles: Optional[Sequence[object]] = None,
+) -> OracleReport:
+    """Run ``scenarios x oracles`` (defaults: everything registered).
+
+    Items may be names or already-constructed specs/oracles.  Each
+    scenario's expensive builds are shared across its oracles through
+    the cached :class:`~repro.testkit.scenario.ScenarioRun`.
+    """
+    specs = _resolve_scenarios(scenarios)
+    targets = _resolve_oracles(oracles)
+    obs.gauge("testkit.scenarios").set(len(specs))
+    outcomes: List[OracleOutcome] = []
+    for spec in specs:
+        run = run_scenario(spec)
+        with obs.span("testkit.scenario", scenario=spec.name):
+            for target in targets:
+                outcomes.append(run_oracle(target, run))
+    return OracleReport(outcomes=tuple(outcomes))

@@ -1,0 +1,332 @@
+"""Scenario spec DSL and the named scenario library.
+
+A :class:`ScenarioSpec` declares one end-to-end exercise of the
+pipeline: the synthesis knobs (seed, schedule thinning, population
+size), an optional fault-injected ingest stage, the figure set to
+regenerate, and the parallelism/alternate-seed parameters the
+differential oracles need.  Everything an oracle might compare is
+derived *lazily* from the spec through :class:`ScenarioRun` and cached,
+so a matrix of oracles over one scenario pays for each expensive build
+(serial, parallel, alternate-seed) exactly once.
+
+Four scenarios ship by default:
+
+``tiny``
+    The smallest legal ecosystem — fastest full-chain smoke.
+``paper-shaped``
+    The tier-1 fixture shape (seed 2018, 6 snapshots, 110 publishers):
+    what the golden figure rows are captured from.
+``fault-heavy``
+    A small build whose event replay runs through the
+    :class:`~repro.telemetry.faults.FaultInjector` at a high corruption
+    rate, exercising the quarantine/repair policies.
+``syndication-heavy``
+    A mid-size build with an enlarged §6 QoE study, weighting the
+    syndication analyses (Figs 14-18, X2/X3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import figures, obs
+from repro.errors import TestkitError
+from repro.synthesis.calibration import EcosystemConfig
+from repro.synthesis.generator import EcosystemGenerator, EcosystemResult
+from repro.telemetry.dataset import Dataset
+from repro.telemetry.faults import FaultInjector, FaultMix
+from repro.telemetry.records import ViewRecord
+
+Rows = List[Dict[str, object]]
+
+
+@dataclass(frozen=True)
+class IngestSpec:
+    """The optional fault-injected ingest stage of a scenario.
+
+    ``sessions`` view records are replayed as raw event streams, the
+    injector corrupts them at ``fault_rate`` under ``fault_seed``, and
+    the stream is ingested under both lenient policies so the run
+    artifact carries a quarantine and a repair report to compare.
+    """
+
+    sessions: int = 200
+    fault_rate: float = 0.2
+    fault_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise TestkitError("ingest sessions must be >= 1")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise TestkitError("fault rate must be in [0, 1]")
+
+    def mix(self) -> FaultMix:
+        return FaultMix.uniform(self.fault_rate)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully deterministic end-to-end scenario."""
+
+    name: str
+    description: str
+    seed: int
+    alt_seed: int
+    snapshot_limit: int
+    n_publishers: int
+    records_scale: float = 1.0
+    qoe_sessions: int = 160
+    jobs: int = 2
+    ingest: Optional[IngestSpec] = None
+    #: Figure ids to regenerate; empty means every registered figure.
+    figure_ids: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise TestkitError("scenario name must be non-empty, no spaces")
+        if self.alt_seed == self.seed:
+            raise TestkitError(
+                "alt_seed must differ from seed (it drives the "
+                "seed-sensitivity oracle)"
+            )
+        if self.jobs < 2:
+            raise TestkitError(
+                "jobs must be >= 2 (it drives the serial-vs-parallel "
+                "oracle)"
+            )
+        unknown = set(self.figure_ids) - set(figures.figure_ids())
+        if unknown:
+            raise TestkitError(
+                f"scenario names unknown figures: {sorted(unknown)}"
+            )
+
+    def config(self, seed: Optional[int] = None) -> EcosystemConfig:
+        """The generator config for this scenario (or a reseeded one)."""
+        return EcosystemConfig(
+            seed=self.seed if seed is None else seed,
+            snapshot_limit=self.snapshot_limit,
+            n_publishers=self.n_publishers,
+            records_scale=self.records_scale,
+            qoe_sessions=self.qoe_sessions,
+        )
+
+    def figures(self) -> Tuple[str, ...]:
+        """The figure ids this scenario regenerates."""
+        return self.figure_ids or tuple(figures.figure_ids())
+
+
+class ScenarioRun:
+    """The run artifact: every derived view of one scenario, cached.
+
+    All builds are pure functions of the spec, so lazy construction
+    cannot leak order dependence between oracles — any access order
+    yields the same artifacts.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self._results: Dict[str, EcosystemResult] = {}
+        self._figure_rows: Dict[Tuple[str, str], Rows] = {}
+        self._bytes: Dict[str, bytes] = {}
+        self._clean_records: Optional[Tuple[ViewRecord, ...]] = None
+
+    # -- builds ----------------------------------------------------------
+
+    @property
+    def result(self) -> EcosystemResult:
+        """The canonical serial build."""
+        return self._build("base")
+
+    def _build(self, which: str) -> EcosystemResult:
+        cached = self._results.get(which)
+        if cached is not None:
+            return cached
+        spec = self.spec
+        with obs.span(
+            "testkit.build", scenario=spec.name, variant=which
+        ):
+            if which == "base":
+                built = EcosystemGenerator(spec.config()).generate()
+            elif which == "parallel":
+                built = EcosystemGenerator(spec.config()).generate(
+                    jobs=spec.jobs
+                )
+            elif which == "alt-seed":
+                built = EcosystemGenerator(
+                    spec.config(seed=spec.alt_seed)
+                ).generate()
+            elif which == "row":
+                built = dataclasses.replace(
+                    self.result,
+                    dataset=Dataset(
+                        self.result.dataset.records, columnar=False
+                    ),
+                )
+            else:
+                raise TestkitError(f"unknown build variant {which!r}")
+        self._results[which] = built
+        return built
+
+    def parallel_result(self) -> EcosystemResult:
+        """The same config built on a ``jobs=N`` process pool."""
+        return self._build("parallel")
+
+    def alt_result(self) -> EcosystemResult:
+        """The same config under the alternate seed."""
+        return self._build("alt-seed")
+
+    def row_result(self) -> EcosystemResult:
+        """The base build with its dataset on the row backend."""
+        return self._build("row")
+
+    # -- figure rows -----------------------------------------------------
+
+    def figure_rows(self, figure_id: str, variant: str = "base") -> Rows:
+        """Rows of one figure against one build variant, cached."""
+        key = (variant, figure_id)
+        cached = self._figure_rows.get(key)
+        if cached is None:
+            cached = figures.run_figure(figure_id, self._build(variant))
+            self._figure_rows[key] = cached
+        return cached
+
+    def all_figure_rows(self, variant: str = "base") -> Dict[str, Rows]:
+        return {
+            figure_id: self.figure_rows(figure_id, variant)
+            for figure_id in self.spec.figures()
+        }
+
+    # -- serialized dataset ----------------------------------------------
+
+    def dataset_bytes(self, variant: str = "base") -> bytes:
+        """The exact uncompressed JSONL payload :meth:`Dataset.save`
+        writes for this variant's dataset (joined save batches)."""
+        cached = self._bytes.get(variant)
+        if cached is None:
+            records = self._build(variant).dataset.records
+            payload = "\n".join(r.to_json() for r in records)
+            cached = (payload + "\n").encode("utf-8") if records else b""
+            self._bytes[variant] = cached
+        return cached
+
+    # -- event replay ----------------------------------------------------
+
+    def clean_records(self, limit: Optional[int] = None) -> Tuple[ViewRecord, ...]:
+        """Records replayable as clean event streams (positive playback,
+        sub-total rebuffering — the same cut the ingest CLI applies)."""
+        if self._clean_records is None:
+            self._clean_records = tuple(
+                r
+                for r in self.result.dataset.records
+                if r.view_duration_hours > 0 and r.rebuffer_ratio < 1.0
+            )
+        if limit is None:
+            return self._clean_records
+        return self._clean_records[:limit]
+
+    def corrupted_events(self) -> Tuple[List[object], FaultInjector]:
+        """The ingest stage's corrupted stream plus its injector audit."""
+        from repro.telemetry.ingest import events_from_records
+
+        spec = self.spec.ingest
+        if spec is None:
+            raise TestkitError(
+                f"scenario {self.spec.name!r} has no ingest stage"
+            )
+        records = self.clean_records(spec.sessions)
+        events = list(events_from_records(records))
+        injector = FaultInjector(spec.mix(), seed=spec.fault_seed)
+        return injector.apply(events), injector
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the library (rejects duplicate names)."""
+    if spec.name in _SCENARIOS:
+        raise TestkitError(f"duplicate scenario name {spec.name!r}")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def scenario_names() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise TestkitError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
+    """Materialize the run artifact (builds happen lazily on access)."""
+    return ScenarioRun(spec)
+
+
+register_scenario(
+    ScenarioSpec(
+        name="tiny",
+        description="smallest legal ecosystem; fastest full-chain smoke",
+        seed=1018,
+        alt_seed=1019,
+        snapshot_limit=2,
+        n_publishers=20,
+        qoe_sessions=12,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="paper-shaped",
+        description=(
+            "the tier-1 fixture shape: seed 2018, 6 snapshots, "
+            "110 publishers (the golden-row build)"
+        ),
+        seed=2018,
+        alt_seed=2019,
+        snapshot_limit=6,
+        n_publishers=110,
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="fault-heavy",
+        description=(
+            "small build replayed through the fault injector at 30% "
+            "corruption; quarantine/repair policies under stress"
+        ),
+        seed=1404,
+        alt_seed=1405,
+        snapshot_limit=2,
+        n_publishers=24,
+        qoe_sessions=12,
+        ingest=IngestSpec(sessions=240, fault_rate=0.3, fault_seed=11),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="syndication-heavy",
+        description=(
+            "mid-size build with an enlarged §6 QoE study, weighting "
+            "the syndication analyses"
+        ),
+        seed=606,
+        alt_seed=607,
+        snapshot_limit=3,
+        n_publishers=40,
+        qoe_sessions=240,
+    )
+)

@@ -1,0 +1,136 @@
+"""The anycast route-instability model (repro.delivery.anycast).
+
+§4.3: route changes sever ongoing TCP connections, but measured change
+rates are low enough that anycast CDNs work for video.  These tests pin
+the Poisson model's closed forms and check the sampler against them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delivery.anycast import AnycastRouteModel, RouteChangeEvent
+from repro.errors import DeliveryError
+
+rates = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=86_400.0, allow_nan=False)
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(DeliveryError):
+            AnycastRouteModel(daily_change_rate=-0.1)
+
+    def test_negative_reconnect_delay_rejected(self):
+        with pytest.raises(DeliveryError):
+            AnycastRouteModel(reconnect_delay_seconds=-1.0)
+
+    def test_negative_view_rejected_everywhere(self):
+        model = AnycastRouteModel()
+        with pytest.raises(DeliveryError):
+            model.disruption_probability(-1.0)
+        with pytest.raises(DeliveryError):
+            model.sample_events(-1.0, np.random.default_rng(0))
+
+
+class TestDisruptionProbability:
+    def test_closed_form(self):
+        model = AnycastRouteModel(daily_change_rate=0.5)
+        t = 7_200.0
+        expected = 1.0 - math.exp(-0.5 / 86_400.0 * t)
+        assert model.disruption_probability(t) == pytest.approx(expected)
+
+    def test_zero_duration_is_riskless(self):
+        assert AnycastRouteModel().disruption_probability(0.0) == 0.0
+
+    def test_zero_rate_is_riskless(self):
+        model = AnycastRouteModel(daily_change_rate=0.0)
+        assert model.disruption_probability(86_400.0) == 0.0
+
+    @given(rate=rates, t=durations)
+    @settings(max_examples=60)
+    def test_is_a_probability(self, rate, t):
+        p = AnycastRouteModel(daily_change_rate=rate).disruption_probability(t)
+        # Closed interval: 1 - e^(-lambda) rounds to exactly 1.0 once
+        # lambda is large enough for the exponential to underflow.
+        assert 0.0 <= p <= 1.0
+
+    @given(rate=rates, t=durations, extra=durations)
+    @settings(max_examples=60)
+    def test_monotone_in_duration(self, rate, t, extra):
+        model = AnycastRouteModel(daily_change_rate=rate)
+        assert model.disruption_probability(
+            t + extra
+        ) >= model.disruption_probability(t)
+
+    def test_long_views_at_high_rates_are_near_certain_to_break(self):
+        # A day-long view under 50 changes/day: effectively certain.
+        model = AnycastRouteModel(daily_change_rate=50.0)
+        assert model.disruption_probability(86_400.0) > 0.999999
+
+
+class TestSampling:
+    def test_zero_rate_yields_no_events(self):
+        model = AnycastRouteModel(daily_change_rate=0.0)
+        assert model.sample_events(86_400.0, np.random.default_rng(1)) == []
+
+    def test_events_ordered_and_inside_the_view(self):
+        model = AnycastRouteModel(
+            daily_change_rate=40.0, reconnect_delay_seconds=3.0
+        )
+        events = model.sample_events(86_400.0, np.random.default_rng(2))
+        assert events, "40 changes/day over a day should produce events"
+        times = [e.at_seconds for e in events]
+        assert times == sorted(times)
+        assert all(0.0 < t < 86_400.0 for t in times)
+        assert all(e.reconnect_delay_seconds == 3.0 for e in events)
+        assert all(isinstance(e, RouteChangeEvent) for e in events)
+
+    def test_sampled_mean_matches_poisson_rate(self):
+        # Over many replications the mean event count must approach
+        # rate * t (within a few relative percent at n=400).
+        model = AnycastRouteModel(daily_change_rate=24.0)
+        rng = np.random.default_rng(3)
+        t = 43_200.0  # half a day -> lambda = 12
+        counts = [len(model.sample_events(t, rng)) for _ in range(400)]
+        assert np.mean(counts) == pytest.approx(12.0, rel=0.15)
+
+    def test_sampling_is_reproducible_from_the_seed(self):
+        model = AnycastRouteModel(daily_change_rate=10.0)
+        a = model.sample_events(86_400.0, np.random.default_rng(7))
+        b = model.sample_events(86_400.0, np.random.default_rng(7))
+        assert a == b
+
+
+class TestExpectedStall:
+    def test_closed_form(self):
+        model = AnycastRouteModel(
+            daily_change_rate=2.0, reconnect_delay_seconds=5.0
+        )
+        assert model.expected_stall_seconds(86_400.0) == pytest.approx(10.0)
+
+    @given(rate=rates, t=durations)
+    @settings(max_examples=60)
+    def test_linear_in_duration(self, rate, t):
+        model = AnycastRouteModel(daily_change_rate=rate)
+        doubled = model.expected_stall_seconds(2.0 * t)
+        assert doubled == pytest.approx(
+            2.0 * model.expected_stall_seconds(t), rel=1e-9, abs=1e-12
+        )
+
+    def test_stall_agrees_with_sampled_events(self):
+        model = AnycastRouteModel(
+            daily_change_rate=24.0, reconnect_delay_seconds=2.0
+        )
+        rng = np.random.default_rng(11)
+        t = 43_200.0
+        stalls = [
+            sum(e.reconnect_delay_seconds for e in model.sample_events(t, rng))
+            for _ in range(400)
+        ]
+        assert np.mean(stalls) == pytest.approx(
+            model.expected_stall_seconds(t), rel=0.15
+        )

@@ -1,0 +1,129 @@
+"""ABR rung selection (repro.playback.abr).
+
+The Fig 15/16 ablation depends on both families behaving classically:
+throughput ABR never overshoots its discounted estimate, and BBA maps
+buffer occupancy monotonically onto the ladder between its reservoir
+and cushion boundaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.entities.ladder import BitrateLadder
+from repro.errors import PlaybackError
+from repro.playback.abr import AbrState, BufferBasedAbr, ThroughputAbr
+
+ladders = st.lists(
+    st.floats(min_value=50, max_value=20_000, allow_nan=False),
+    min_size=1,
+    max_size=10,
+    unique=True,
+).map(sorted).filter(
+    lambda rates: all(b / a > 1.001 for a, b in zip(rates, rates[1:]))
+).map(BitrateLadder.from_bitrates)
+
+throughputs = st.floats(min_value=0.0, max_value=50_000.0, allow_nan=False)
+buffers = st.floats(min_value=0.0, max_value=120.0, allow_nan=False)
+
+
+def _state(buffer_seconds=10.0, ewma_kbps=1_000.0):
+    return AbrState(
+        buffer_seconds=buffer_seconds,
+        last_throughput_kbps=ewma_kbps,
+        ewma_throughput_kbps=ewma_kbps,
+    )
+
+
+FIVE_RUNG = BitrateLadder.from_bitrates([150, 400, 800, 1600, 2400])
+
+
+class TestThroughputAbr:
+    @pytest.mark.parametrize("safety", [0.0, -0.5, 1.2])
+    def test_bad_safety_rejected(self, safety):
+        with pytest.raises(PlaybackError):
+            ThroughputAbr(safety=safety)
+
+    def test_picks_highest_rung_under_the_discounted_estimate(self):
+        abr = ThroughputAbr(safety=0.8)
+        # 0.8 * 1100 = 880 -> the 800 kbps rung, not 1600.
+        chosen = abr.choose(FIVE_RUNG, _state(ewma_kbps=1_100.0))
+        assert chosen.bitrate_kbps == 800
+
+    def test_falls_back_to_lowest_rung_when_starved(self):
+        chosen = ThroughputAbr().choose(FIVE_RUNG, _state(ewma_kbps=10.0))
+        assert chosen.bitrate_kbps == FIVE_RUNG.min_bitrate_kbps
+
+    @given(ladder=ladders, ewma=throughputs)
+    @settings(max_examples=80)
+    def test_never_overshoots_unless_starved(self, ladder, ewma):
+        chosen = ThroughputAbr(safety=0.8).choose(ladder, _state(ewma_kbps=ewma))
+        budget = 0.8 * ewma
+        if chosen.bitrate_kbps > budget:
+            # Only legal overshoot: even the lowest rung exceeds budget.
+            assert chosen.bitrate_kbps == ladder.min_bitrate_kbps
+
+    @given(ladder=ladders, ewma=throughputs)
+    @settings(max_examples=80)
+    def test_chooses_the_maximal_fitting_rung(self, ladder, ewma):
+        chosen = ThroughputAbr(safety=1.0).choose(ladder, _state(ewma_kbps=ewma))
+        assert chosen in tuple(ladder)
+        better = [
+            r
+            for r in ladder
+            if chosen.bitrate_kbps < r.bitrate_kbps <= ewma
+        ]
+        assert not better, "left a sustainable higher rung on the table"
+
+
+class TestBufferBasedAbr:
+    @pytest.mark.parametrize(
+        "reservoir,cushion", [(-1.0, 16.0), (8.0, 0.0), (8.0, -4.0)]
+    )
+    def test_bad_configuration_rejected(self, reservoir, cushion):
+        with pytest.raises(PlaybackError):
+            BufferBasedAbr(
+                reservoir_seconds=reservoir, cushion_seconds=cushion
+            )
+
+    def test_reservoir_floor_and_cushion_ceiling(self):
+        abr = BufferBasedAbr(reservoir_seconds=8.0, cushion_seconds=16.0)
+        lowest, highest = FIVE_RUNG[0], FIVE_RUNG[len(FIVE_RUNG) - 1]
+        assert abr.choose(FIVE_RUNG, _state(buffer_seconds=0.0)) == lowest
+        assert abr.choose(FIVE_RUNG, _state(buffer_seconds=8.0)) == lowest
+        assert abr.choose(FIVE_RUNG, _state(buffer_seconds=24.0)) == highest
+        assert abr.choose(FIVE_RUNG, _state(buffer_seconds=90.0)) == highest
+
+    def test_midpoint_lands_mid_ladder(self):
+        abr = BufferBasedAbr(reservoir_seconds=8.0, cushion_seconds=16.0)
+        # Halfway through the cushion: target = 150 + 0.5*(2400-150).
+        chosen = abr.choose(FIVE_RUNG, _state(buffer_seconds=16.0))
+        assert chosen.bitrate_kbps == 800
+
+    @given(ladder=ladders, buffer_seconds=buffers)
+    @settings(max_examples=80)
+    def test_always_picks_from_the_ladder(self, ladder, buffer_seconds):
+        abr = BufferBasedAbr()
+        chosen = abr.choose(ladder, _state(buffer_seconds=buffer_seconds))
+        assert chosen in tuple(ladder)
+
+    @given(ladder=ladders, b1=buffers, b2=buffers)
+    @settings(max_examples=80)
+    def test_monotone_in_buffer_occupancy(self, ladder, b1, b2):
+        # More buffer can never mean a lower rung — the anti-oscillation
+        # property that makes BBA stable.
+        low, high = sorted((b1, b2))
+        abr = BufferBasedAbr()
+        assert (
+            abr.choose(ladder, _state(buffer_seconds=high)).bitrate_kbps
+            >= abr.choose(ladder, _state(buffer_seconds=low)).bitrate_kbps
+        )
+
+    def test_single_rung_ladder_is_a_fixed_point(self):
+        only = BitrateLadder.from_bitrates([640])
+        abr = BufferBasedAbr()
+        for buffer_seconds in (0.0, 8.0, 12.0, 50.0):
+            assert (
+                abr.choose(only, _state(buffer_seconds=buffer_seconds))
+                == only[0]
+            )

@@ -47,6 +47,21 @@ class TestGeneration:
         with pytest.raises(KeyError):
             eco.publisher("ghost")
 
+    def test_publisher_miss_names_the_id_and_leaves_index_intact(self, eco):
+        # Regression: a dict-index miss must surface the requested id
+        # (not a bare KeyError from the internal dict) and must not
+        # poison subsequent hits on the cached index.
+        with pytest.raises(KeyError, match="unknown publisher 'pub_404'"):
+            eco.publisher("pub_404")
+        survivor = eco.publishers[0].publisher_id
+        assert eco.publisher(survivor).publisher_id == survivor
+        with pytest.raises(KeyError, match="''"):
+            eco.publisher("")
+
+    def test_every_listed_publisher_resolves(self, eco):
+        for expected in eco.publishers:
+            assert eco.publisher(expected.publisher_id) is expected
+
     def test_total_view_hours_order_of_magnitude(self, eco):
         # §3: ~0.06B daily view-hours aggregate; the synthetic
         # population should land within the same order of magnitude.

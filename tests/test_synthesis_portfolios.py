@@ -129,37 +129,47 @@ class TestCdnDraws:
 
 
 class TestForcing:
-    def test_force_protocol(self, assigner_and_publishers):
-        assigner, publishers = assigner_and_publishers
+    # force_protocol/ensure_cdns mutate assigner state in place, so this
+    # class gets a private assigner: the shared module-scoped fixture is
+    # read by other classes and the suite runs in shuffled order.
+    @pytest.fixture(scope="class")
+    def forcing_assigner(self):
+        rng = np.random.default_rng(7)
+        publishers = generate_publishers(rng, 110)
+        assigner = PortfolioAssigner(rng, publishers, default_registry())
+        return assigner, publishers
+
+    def test_force_protocol(self, forcing_assigner):
+        assigner, publishers = forcing_assigner
         pid = publishers[5].publisher_id
         assigner.force_protocol(pid, Protocol.DASH, 0.0)
         assert Protocol.DASH in assigner.protocols_at(pid, 0.0)
         assigner.force_protocol(pid, Protocol.DASH, 1.0)
         assert Protocol.DASH not in assigner.protocols_at(pid, 1.0)
 
-    def test_force_unknown_publisher(self, assigner_and_publishers):
-        assigner, _ = assigner_and_publishers
+    def test_force_unknown_publisher(self, forcing_assigner):
+        assigner, _ = forcing_assigner
         with pytest.raises(CalibrationError):
             assigner.force_protocol("ghost", Protocol.DASH, 0.5)
 
-    def test_ensure_cdns_adds_missing(self, assigner_and_publishers):
-        assigner, publishers = assigner_and_publishers
+    def test_ensure_cdns_adds_missing(self, forcing_assigner):
+        assigner, publishers = forcing_assigner
         pid = publishers[-1].publisher_id  # smallest: one CDN
         assigner.ensure_cdns(pid, ("A", "B"))
         profile = assigner.profile_at(pid, 0.5)
         assert {"A", "B"} <= set(profile.cdn_names)
         assert profile.cdn_count <= 5
 
-    def test_ensure_cdns_idempotent(self, assigner_and_publishers):
-        assigner, publishers = assigner_and_publishers
+    def test_ensure_cdns_idempotent(self, forcing_assigner):
+        assigner, publishers = forcing_assigner
         pid = publishers[-2].publisher_id
         assigner.ensure_cdns(pid, ("A",))
         count = assigner.profile_at(pid, 0.5).cdn_count
         assigner.ensure_cdns(pid, ("A",))
         assert assigner.profile_at(pid, 0.5).cdn_count == count
 
-    def test_ensure_cdns_caps_at_five(self, assigner_and_publishers):
-        assigner, publishers = assigner_and_publishers
+    def test_ensure_cdns_caps_at_five(self, forcing_assigner):
+        assigner, publishers = forcing_assigner
         pid = publishers[0].publisher_id  # largest: 4-5 CDNs already
         assigner.ensure_cdns(pid, ("A", "B", "C", "D", "E"))
         assert assigner.profile_at(pid, 0.5).cdn_count <= 5

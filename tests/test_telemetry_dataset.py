@@ -159,6 +159,43 @@ class TestPersistence:
         assert len(Dataset.load(path)) == 3
 
 
+class TestLoadLimit:
+    @pytest.fixture
+    def saved(self, small_dataset, tmp_path):
+        path = tmp_path / "limited.jsonl"
+        small_dataset.save(path)
+        return path, small_dataset
+
+    def test_limit_is_an_exact_prefix(self, saved):
+        path, dataset = saved
+        assert Dataset.load(path, limit=2).records == dataset.records[:2]
+
+    def test_limit_zero_loads_nothing(self, saved):
+        path, _ = saved
+        loaded = Dataset.load(path, limit=0)
+        assert len(loaded) == 0
+        assert loaded.records == ()
+
+    def test_limit_beyond_length_loads_everything(self, saved):
+        path, dataset = saved
+        assert Dataset.load(path, limit=10_000).records == dataset.records
+
+    def test_limit_equal_to_length_loads_everything(self, saved):
+        path, dataset = saved
+        loaded = Dataset.load(path, limit=len(dataset))
+        assert loaded.records == dataset.records
+
+    def test_negative_limit_raises_instead_of_truncating(self, saved):
+        path, _ = saved
+        with pytest.raises(DatasetError, match=">= 0.*-1"):
+            Dataset.load(path, limit=-1)
+
+    def test_negative_limit_checked_before_file_access(self, tmp_path):
+        # The argument error wins over the missing-file error.
+        with pytest.raises(DatasetError, match=">= 0"):
+            Dataset.load(tmp_path / "absent.jsonl", limit=-5)
+
+
 class TestRepr:
     def test_repr_mentions_shape(self, small_dataset):
         text = repr(small_dataset)

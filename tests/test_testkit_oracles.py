@@ -1,0 +1,89 @@
+"""The scenario x oracle matrix, as a pytest suite (``-m testkit``).
+
+Each (scenario, oracle) cell is its own test so a violated relation
+fails alone with the oracle's message.  Builds are shared per scenario
+through a module-level :class:`ScenarioRun` cache, mirroring what
+``repro testkit run`` does in one process.
+
+Tier-1 runs the two fast scenarios (``tiny``, ``fault-heavy`` — the
+pair that exercises every oracle, including the ingest replay).  The
+CI testkit job additionally runs the full four-scenario matrix through
+the CLI and archives the JSON report.
+"""
+
+import json
+
+import pytest
+
+from repro import testkit as tk
+from repro.cli import main
+from repro.testkit.oracles import FAIL, SKIP
+
+pytestmark = pytest.mark.testkit
+
+SCENARIOS = ("tiny", "fault-heavy")
+
+_RUNS = {}
+
+
+def _run_for(name):
+    if name not in _RUNS:
+        _RUNS[name] = tk.run_scenario(tk.get_scenario(name))
+    return _RUNS[name]
+
+
+#: Cells where the oracle legitimately does not apply.
+EXPECTED_SKIPS = {("tiny", "fault-ingest-replay")}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("oracle_name", tk.oracle_names())
+def test_oracle_cell(scenario, oracle_name):
+    outcome = tk.run_oracle(tk.get_oracle(oracle_name), _run_for(scenario))
+    assert outcome.status != FAIL, outcome.detail
+    if (scenario, oracle_name) in EXPECTED_SKIPS:
+        assert outcome.status == SKIP, outcome.detail
+    else:
+        assert outcome.checks > 0, "applicable oracle verified nothing"
+
+
+def test_fast_scenarios_cover_every_oracle():
+    """tiny + fault-heavy leave no oracle permanently skipped."""
+    skippable = {o for s, o in EXPECTED_SKIPS}
+    exercised = set(tk.oracle_names()) - {
+        o
+        for o in skippable
+        if all((s, o) in EXPECTED_SKIPS for s in SCENARIOS)
+    }
+    assert exercised == set(tk.oracle_names())
+
+
+def test_cli_testkit_run_emits_machine_readable_report(capsys, tmp_path):
+    out = tmp_path / "oracle-report.json"
+    code = main(
+        [
+            "testkit",
+            "run",
+            "--scenario",
+            "tiny",
+            "--oracle",
+            "save-load-roundtrip",
+            "--oracle",
+            "seed-sensitivity",
+            "--json",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["ok"] is True
+    assert payload["summary"]["fail"] == 0
+    assert payload["scenarios"] == ["tiny"]
+    assert json.loads(out.read_text()) == payload
+
+
+def test_cli_testkit_rejects_unknown_scenario(capsys):
+    code = main(["testkit", "run", "--scenario", "nope"])
+    assert code == 2
+    assert "unknown scenario" in capsys.readouterr().err
