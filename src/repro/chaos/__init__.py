@@ -1,0 +1,100 @@
+"""repro.chaos: deterministic cross-layer fault injection.
+
+The chaos plane turns "does the pipeline degrade gracefully?" into a
+checked, versioned artifact: a :class:`~repro.chaos.plan.FaultPlan`
+declares what breaks where and when; the layer injectors execute it
+against the *real* components; degradation contracts assert what
+graceful means; and the runner folds everything into a deterministic
+:class:`~repro.chaos.runner.DegradationReport`.
+
+Importing this package also loads the scenario zoo
+(:mod:`repro.chaos.zoo`), which registers its scenarios, perturbations,
+and degradation contracts as a side effect — see the import at the
+bottom of this module.
+"""
+
+from repro.chaos.contracts import (
+    ContractCheck,
+    ContractOutcome,
+    DegradationContract,
+    contract,
+    contract_names,
+    contracts_for,
+    get_contract,
+    run_contract,
+)
+from repro.chaos.injectors import (
+    BreakerTransition,
+    DeliveryChaosResult,
+    IngestChaosResult,
+    ManifestChaosResult,
+    PoisonEvent,
+    TelemetryInjection,
+    inject_ingest_pressure,
+    inject_telemetry,
+    run_delivery_chaos,
+    run_ingest_chaos,
+    run_manifest_chaos,
+)
+from repro.chaos.plan import (
+    LAYER_KINDS,
+    PLAN_VERSION,
+    RECOVERABLE_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    Layer,
+    Window,
+)
+from repro.chaos.runner import (
+    DEGRADATION_REPORT_VERSION,
+    ChaosRun,
+    DegradationReport,
+    ScenarioChaosReport,
+    chaos_scenario_names,
+    run_chaos,
+    run_chaos_scenario,
+)
+
+__all__ = [
+    "LAYER_KINDS",
+    "PLAN_VERSION",
+    "RECOVERABLE_KINDS",
+    "DEGRADATION_REPORT_VERSION",
+    "BreakerTransition",
+    "ChaosRun",
+    "ContractCheck",
+    "ContractOutcome",
+    "DegradationContract",
+    "DegradationReport",
+    "DeliveryChaosResult",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "IngestChaosResult",
+    "Layer",
+    "ManifestChaosResult",
+    "PoisonEvent",
+    "ScenarioChaosReport",
+    "TelemetryInjection",
+    "Window",
+    "chaos_scenario_names",
+    "contract",
+    "contract_names",
+    "contracts_for",
+    "get_contract",
+    "inject_ingest_pressure",
+    "inject_telemetry",
+    "run_chaos",
+    "run_chaos_scenario",
+    "run_contract",
+    "run_delivery_chaos",
+    "run_ingest_chaos",
+    "run_manifest_chaos",
+]
+
+# Load the scenario zoo last: it needs every name above plus a fully
+# initialized repro.testkit.scenario.  When repro.testkit is imported
+# first, its own trailing zoo import lands here and resolves via
+# sys.modules without re-executing anything.
+from repro.chaos import zoo as _zoo  # noqa: E402,F401

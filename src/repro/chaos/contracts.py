@@ -1,0 +1,162 @@
+"""Degradation contracts: what graceful degradation *means*, checked.
+
+A :class:`DegradationContract` is a named predicate over a
+:class:`~repro.chaos.runner.ChaosRun` asserting one graceful-degradation
+invariant — "a regional CDN outage shifts traffic, not figures", "every
+opened breaker re-closes once faults end", "recovered output equals the
+fault-free output".  Contracts mirror the testkit oracle framework
+(elementary-assertion counting, vacuity detection, typed skips) but
+fail with :class:`~repro.errors.ContractViolation` so a degradation
+report is distinguishable from an oracle failure at the exception
+level.
+
+Contracts register against specific scenarios or against ``"*"`` (every
+chaos scenario); :func:`run_contract` turns one execution into a
+:class:`ContractOutcome` for the degradation report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro import obs
+from repro.errors import ContractViolation, ReproError, TestkitError
+from repro.testkit.oracles import FAIL, PASS, SKIP, Check, Skip
+
+
+class ContractCheck(Check):
+    """A :class:`Check` whose violations are :class:`ContractViolation`.
+
+    Same counting semantics; only the exception type changes, so the
+    chaos CLI can map violations to its exit code without string
+    matching.
+    """
+
+    def that(self, condition: bool, detail: str) -> None:
+        self.count += 1
+        if not condition:
+            raise ContractViolation(detail)
+
+
+@dataclass(frozen=True)
+class ContractOutcome:
+    """One (contract, scenario) line of the degradation report."""
+
+    contract: str
+    scenario: str
+    status: str  # pass | fail | skip
+    checks: int
+    detail: str
+
+    @property
+    def passed(self) -> bool:
+        """Skips count as passed: the invariant holds vacuously."""
+        return self.status != FAIL
+
+
+#: A contract body: asserts through ``check``; returns a short human
+#: summary of what was verified.  The first argument is a
+#: :class:`~repro.chaos.runner.ChaosRun` (typed loosely to keep this
+#: module import-light).
+ContractFn = Callable[[object, ContractCheck], str]
+
+
+@dataclass(frozen=True)
+class DegradationContract:
+    """A registered contract: identity, scope, and body."""
+
+    name: str
+    description: str
+    scenarios: Tuple[str, ...]
+    fn: ContractFn
+
+    def applies_to(self, scenario: str) -> bool:
+        return "*" in self.scenarios or scenario in self.scenarios
+
+
+_CONTRACTS: Dict[str, DegradationContract] = {}
+
+
+def contract(
+    name: str, description: str, scenarios: Tuple[str, ...] = ("*",)
+) -> Callable[[ContractFn], ContractFn]:
+    """Register a contract body under a name and scenario scope."""
+    if not scenarios:
+        raise TestkitError(f"contract {name!r} must scope to some scenario")
+
+    def decorator(fn: ContractFn) -> ContractFn:
+        if name in _CONTRACTS:
+            raise TestkitError(f"duplicate contract name {name!r}")
+        _CONTRACTS[name] = DegradationContract(
+            name=name,
+            description=description,
+            scenarios=tuple(scenarios),
+            fn=fn,
+        )
+        return fn
+
+    return decorator
+
+
+def contract_names() -> List[str]:
+    return sorted(_CONTRACTS)
+
+
+def get_contract(name: str) -> DegradationContract:
+    try:
+        return _CONTRACTS[name]
+    except KeyError:
+        raise TestkitError(
+            f"unknown contract {name!r}; known: {', '.join(contract_names())}"
+        ) from None
+
+
+def contracts_for(scenario: str) -> List[DegradationContract]:
+    """Contracts applicable to one scenario, name-sorted."""
+    return [
+        c for _, c in sorted(_CONTRACTS.items()) if c.applies_to(scenario)
+    ]
+
+
+def run_contract(
+    target: DegradationContract, chaos_run: object
+) -> ContractOutcome:
+    """Execute one contract against one chaos run.
+
+    :class:`~repro.errors.ContractViolation` and unexpected library
+    errors become failing outcomes; a pass with zero elementary checks
+    is itself a failure (a vacuous contract is a harness bug).
+    Programming errors propagate.
+    """
+    check = ContractCheck()
+    scenario = chaos_run.spec.name  # type: ignore[attr-defined]
+    with obs.span(
+        "chaos.contract", contract=target.name, scenario=scenario
+    ):
+        try:
+            summary = target.fn(chaos_run, check)
+            status, detail = PASS, summary
+            if check.count == 0:
+                status = FAIL
+                detail = (
+                    f"contract {target.name} made no checks — a vacuous "
+                    "pass is a harness bug"
+                )
+        except Skip as skip:
+            status, detail = SKIP, str(skip)
+        except ContractViolation as violation:
+            status, detail = FAIL, str(violation)
+        except ReproError as error:
+            status, detail = (
+                FAIL,
+                f"unexpected {type(error).__name__}: {error}",
+            )
+    obs.counter("chaos.contracts", status=status).inc()
+    return ContractOutcome(
+        contract=target.name,
+        scenario=scenario,
+        status=status,
+        checks=check.count,
+        detail=detail,
+    )

@@ -181,6 +181,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the JSON oracle report to PATH",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos plane: fault plans, injectors, degradation contracts",
+        parents=[obs_parent],
+    )
+    chaos.add_argument(
+        "action",
+        choices=["run", "list", "plan"],
+        help=(
+            "run the degradation contracts, list the scenario zoo, or "
+            "print a scenario's fault plan as JSON"
+        ),
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="chaos scenario to run (repeatable; implies a subset)",
+    )
+    chaos.add_argument(
+        "--all",
+        action="store_true",
+        dest="run_all",
+        help="run every scenario that declares a fault plan (default)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable degradation report on stdout",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON degradation report to PATH",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="replint static analysis: determinism/units/error hygiene",
@@ -332,6 +371,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "testkit":
         return _testkit(args)
 
+    if args.command == "chaos":
+        return _chaos(args)
+
     if args.command == "lint":
         return _lint(args)
 
@@ -383,6 +425,58 @@ def _testkit(args: argparse.Namespace) -> int:
     if args.out:
         Path(args.out).write_text(report.to_json() + "\n", encoding="utf-8")
         print(f"wrote oracle report to {args.out}", file=sys.stderr)
+    print(report.to_json() if args.as_json else report.format_text())
+    return 0 if report.ok else 1
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    """Run (or inspect) the chaos plane; exit 1 on contract violation."""
+    from pathlib import Path
+
+    # Lazy import: the chaos plane pulls in testkit and the zoo.
+    from repro.chaos import chaos_scenario_names, run_chaos
+    from repro.chaos.contracts import contracts_for
+    from repro.errors import ChaosError, TestkitError
+    from repro.testkit.scenario import get_scenario
+
+    if args.action == "list":
+        rows = []
+        for name in chaos_scenario_names():
+            spec = get_scenario(name)
+            plan = spec.chaos_plan
+            rows.append(
+                {
+                    "scenario": name,
+                    "specs": len(plan.specs),
+                    "layers": ",".join(
+                        layer.value for layer in plan.layers()
+                    ),
+                    "contracts": len(contracts_for(name)),
+                    "perturbation": spec.perturb or "-",
+                }
+            )
+        print(format_table(rows))
+        return 0
+
+    if args.action == "plan":
+        names = args.scenarios or chaos_scenario_names()
+        try:
+            for name in names:
+                print(get_scenario(name).chaos_plan.to_json())
+        except (TestkitError, AttributeError) as error:
+            print(f"chaos: {error}", file=sys.stderr)
+            return 2
+        return 0
+
+    scenarios = None if (args.run_all or not args.scenarios) else args.scenarios
+    try:
+        report = run_chaos(scenarios)
+    except (ChaosError, TestkitError) as error:
+        print(f"chaos: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"wrote degradation report to {args.out}", file=sys.stderr)
     print(report.to_json() if args.as_json else report.format_text())
     return 0 if report.ok else 1
 

@@ -18,7 +18,12 @@ import numpy as np
 from repro import obs
 from repro.constants import ContentType
 from repro.entities.cdn import CdnAssignment
-from repro.errors import DeliveryError, RetryExhaustedError, TransportError
+from repro.errors import (
+    AllCdnsFailedError,
+    DeliveryError,
+    RetryExhaustedError,
+    TransportError,
+)
 from repro.resilience import BackoffPolicy, CircuitBreaker, retry_with_backoff
 
 
@@ -201,6 +206,23 @@ class CdnBroker:
 
 
 @dataclass(frozen=True)
+class CdnAttempt:
+    """Why one CDN did not serve a resilient fetch.
+
+    ``outcome`` is ``"failed"`` (retries exhausted against this CDN) or
+    ``"circuit-open"`` (skipped without trying).  ``attempts`` counts
+    individual tries against this CDN (0 when skipped) and ``elapsed``
+    is the time the fetcher spent on it per its injected clock.
+    """
+
+    cdn_name: str
+    outcome: str
+    attempts: int
+    elapsed: float
+    error: str = ""
+
+
+@dataclass(frozen=True)
 class FailoverOutcome:
     """Result of one resilient fetch: which CDN served, how hard it was."""
 
@@ -264,11 +286,13 @@ class ResilientFetcher:
         ``fetch(cdn_name)`` performs the actual transfer; transient
         failures it raises (:class:`DeliveryError`,
         :class:`TransportError`) are retried with backoff, then the
-        next-ranked CDN is tried.  Raises :class:`DeliveryError` only
-        when every eligible CDN is down or circuit-open.
+        next-ranked CDN is tried.  Raises :class:`AllCdnsFailedError`
+        (a :class:`DeliveryError`) only when every eligible CDN is down
+        or circuit-open, with per-CDN :class:`CdnAttempt` attribution.
         """
         self._calls += 1
         attempts_total = 0
+        attribution: List[CdnAttempt] = []
         failed: List[str] = []
         skipped: List[str] = []
         for name in self.broker.ranked(assignments, content_type):
@@ -277,7 +301,17 @@ class ResilientFetcher:
                 breaker.rejected_calls += 1
                 obs.counter("multicdn.circuit_skipped", cdn=name).inc()
                 skipped.append(name)
+                attribution.append(
+                    CdnAttempt(
+                        cdn_name=name,
+                        outcome="circuit-open",
+                        attempts=0,
+                        elapsed=0.0,
+                        error="circuit open; skipped without trying",
+                    )
+                )
                 continue
+            started = self._clock()
             try:
                 value = retry_with_backoff(
                     lambda name=name: fetch(name),
@@ -290,6 +324,15 @@ class ResilientFetcher:
                 breaker.record_failure()
                 attempts_total += exc.attempts
                 failed.append(name)
+                attribution.append(
+                    CdnAttempt(
+                        cdn_name=name,
+                        outcome="failed",
+                        attempts=exc.attempts,
+                        elapsed=self._clock() - started,
+                        error=str(exc.last_error) if exc.last_error else str(exc),
+                    )
+                )
                 obs.counter("multicdn.failover", cdn=name).inc()
                 obs.emit(
                     "multicdn.failover",
@@ -309,7 +352,8 @@ class ResilientFetcher:
                 skipped_open_circuits=tuple(skipped),
             )
         obs.counter("multicdn.exhausted").inc()
-        raise DeliveryError(
+        raise AllCdnsFailedError(
             "all eligible CDNs failed "
-            f"(failed={failed}, circuit-open={skipped})"
+            f"(failed={failed}, circuit-open={skipped})",
+            attribution=tuple(attribution),
         )

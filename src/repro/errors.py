@@ -73,6 +73,19 @@ class OracleFailure(TestkitError):
     """
 
 
+class ChaosError(ReproError):
+    """The chaos plane was misconfigured (bad plan, layer, or window)."""
+
+
+class ContractViolation(ChaosError):
+    """A degradation contract's graceful-degradation invariant failed.
+
+    Raised at the first failing elementary assertion; the message names
+    the violated invariant so a degradation-report line is actionable
+    on its own.
+    """
+
+
 class TransportError(ReproError):
     """A (possibly transient) transport-level delivery failure."""
 
@@ -93,6 +106,21 @@ class RetryExhaustedError(ResilienceError):
 
 class CircuitOpenError(ResilienceError):
     """A circuit breaker is open and rejected the call without trying."""
+
+
+class AllCdnsFailedError(DeliveryError):
+    """Every eligible CDN failed or was circuit-open.
+
+    ``attribution`` carries one entry per CDN tried or skipped, in the
+    order the fetcher considered them, so the caller (and the incident
+    report) can see *why* each CDN was unavailable rather than only the
+    last attempt's error.  Entries are
+    :class:`repro.delivery.multicdn.CdnAttempt` instances.
+    """
+
+    def __init__(self, message: str, attribution: "tuple" = ()) -> None:
+        super().__init__(message)
+        self.attribution = tuple(attribution)
 
 
 class DeadlineExceededError(ResilienceError):

@@ -147,6 +147,27 @@ CATALOG: Tuple[InstrumentSpec, ...] = (
         "testkit.scenarios", "gauge",
         "scenarios in the most recent matrix run",
     ),
+    # -- chaos -----------------------------------------------------------
+    InstrumentSpec(
+        "chaos.faults", "counter",
+        "chaos faults by layer and disposition "
+        "(injected / absorbed / leaked)",
+        labels=("layer", "disposition"),
+    ),
+    InstrumentSpec(
+        "chaos.contracts", "counter",
+        "degradation-contract executions by outcome status",
+        labels=("status",),
+    ),
+    InstrumentSpec(
+        "chaos.breaker_recovery", "histogram",
+        "breaker open-to-reclose latency under delivery chaos, "
+        "in injected ticks",
+    ),
+    InstrumentSpec(
+        "chaos.scenarios", "gauge",
+        "scenarios in the most recent chaos campaign",
+    ),
 )
 
 

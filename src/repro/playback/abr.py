@@ -79,3 +79,29 @@ class BufferBasedAbr(AbrAlgorithm):
             + fraction * (ladder.max_bitrate_kbps - ladder.min_bitrate_kbps)
         )
         return ladder.nearest_at_most(target)
+
+
+class HybridAbr(AbrAlgorithm):
+    """Conservative hybrid: the lower of the rate and buffer choices.
+
+    Takes the min-bitrate rendition of a :class:`ThroughputAbr` and a
+    :class:`BufferBasedAbr` decision, so a drained buffer caps an
+    optimistic throughput estimate and a stale throughput estimate caps
+    an optimistic buffer.  Never picks above either constituent — the
+    invariant the abr-policy-zoo degradation contract checks.
+    """
+
+    def __init__(
+        self,
+        throughput: ThroughputAbr = None,
+        buffer_based: BufferBasedAbr = None,
+    ) -> None:
+        self.throughput = throughput or ThroughputAbr()
+        self.buffer_based = buffer_based or BufferBasedAbr()
+
+    def choose(self, ladder: BitrateLadder, state: AbrState) -> Rendition:
+        by_rate = self.throughput.choose(ladder, state)
+        by_buffer = self.buffer_based.choose(ladder, state)
+        if by_rate.bitrate_kbps <= by_buffer.bitrate_kbps:
+            return by_rate
+        return by_buffer

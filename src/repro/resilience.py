@@ -141,8 +141,11 @@ class CircuitBreaker:
 
     ``failure_threshold`` consecutive failures open the circuit; after
     ``recovery_timeout`` seconds (per the injectable ``clock``) the next
-    ``allow()`` transitions to half-open and admits one probe call.  A
-    success closes the circuit, a failure re-opens it.
+    ``allow()`` transitions to half-open and admits **exactly one**
+    probe call per half-open window: the first ``allow()`` claims the
+    probe slot and further calls are rejected until the probe resolves
+    (a success closes the circuit, a failure re-opens it).  Inspecting
+    :attr:`state` never claims the slot.
 
     Only *operational* failures trip the breaker: by default
     :class:`~repro.errors.ReproError` (which covers every transport
@@ -179,6 +182,7 @@ class CircuitBreaker:
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
+        self._half_open_probe_claimed = False
         self.rejected_calls = 0
 
     @property
@@ -192,6 +196,9 @@ class CircuitBreaker:
         self._state = new_state
         if old is new_state:
             return
+        if new_state is CircuitState.HALF_OPEN:
+            # A fresh half-open window gets a fresh probe slot.
+            self._half_open_probe_claimed = False
         obs.counter(
             "breaker.transitions",
             breaker=self.name,
@@ -211,12 +218,25 @@ class CircuitBreaker:
                 self._transition(CircuitState.HALF_OPEN)
 
     def allow(self) -> bool:
-        """Whether a call may proceed right now."""
+        """Whether a call may proceed right now.
+
+        In the half-open state a ``True`` return *claims* the single
+        probe slot for this window; callers that get ``True`` must
+        follow up with :meth:`record_success` or :meth:`record_failure`
+        (as :meth:`call` does).  Concurrent callers see ``False`` until
+        the probe resolves.
+        """
         self._maybe_half_open()
+        if self._state is CircuitState.HALF_OPEN:
+            if self._half_open_probe_claimed:
+                return False
+            self._half_open_probe_claimed = True
+            return True
         return self._state is not CircuitState.OPEN
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
+        self._half_open_probe_claimed = False
         self._transition(CircuitState.CLOSED)
         self._opened_at = None
 

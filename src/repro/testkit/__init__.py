@@ -53,6 +53,17 @@ from repro.testkit.report import OracleReport, run_matrix
 from repro.testkit import differential as _differential  # noqa: F401
 from repro.testkit import metamorphic as _metamorphic  # noqa: F401
 
+# The chaos scenario zoo registers its scenarios, perturbations, and
+# degradation contracts as import side effects.  It must come last (it
+# imports back into repro.testkit.scenario) and must be skipped when
+# repro.chaos is already mid-import higher in the stack — that package
+# imports the zoo itself as its final statement, and importing it here
+# would hit its partially initialized contracts module.
+import sys as _sys
+
+if "repro.chaos" not in _sys.modules:
+    from repro.chaos import zoo as _zoo  # noqa: E402,F401
+
 __all__ = [
     "Check",
     "IngestSpec",

@@ -312,3 +312,57 @@ def fault_ingest_replay(run: ScenarioRun, check: Check) -> str:
         f"deterministically ({len(injector_a.log)} faults, "
         f"{quarantine.quarantined} quarantined)"
     )
+
+
+@oracle(
+    "differential",
+    "chaos-recovery",
+    "chaos with recovery is observationally identical to no chaos",
+)
+def chaos_recovery(run: ScenarioRun, check: Check) -> str:
+    """The chaos plane's core promise, as a differential oracle.
+
+    Restricting the scenario's fault plan to its *recoverable* faults
+    (duplicates and delayed session starts), ingesting the faulted
+    stream, and rebuilding every figure must reproduce the fault-free
+    run byte for byte — zero quarantines, zero record drift, zero
+    figure-row drift.
+    """
+    if run.spec.chaos_plan is None:
+        raise Skip(f"scenario {run.spec.name!r} declares no chaos plan")
+    # Lazy import: repro.chaos is not in testkit's module-import graph.
+    from repro.chaos.runner import ChaosRun
+
+    chaos_run = ChaosRun(run.spec, scenario=run)
+    recovery = chaos_run.recovery()
+    check.that(
+        recovery.injection.total_injected > 0,
+        "the plan's recoverable projection injected nothing — this "
+        "oracle would be vacuous",
+    )
+    check.equal(recovery.quarantined, 0, "quarantined under recovery")
+    check.equal(
+        len(recovery.recovered_records),
+        len(recovery.clean_records),
+        "recovered record count",
+    )
+    check.that(
+        recovery.identical,
+        "recovered ingest folded different records than the fault-free "
+        "replay",
+    )
+    clean_rows = chaos_run.figure_rows_from(recovery.clean_records, "clean")
+    recovered_rows = chaos_run.figure_rows_from(
+        recovery.recovered_records, "recovered"
+    )
+    for figure_id in sorted(clean_rows):
+        check.rows_equal(
+            recovered_rows[figure_id],
+            clean_rows[figure_id],
+            f"figure {figure_id} under recovered chaos",
+        )
+    return (
+        f"{recovery.injection.total_injected} recoverable faults left "
+        f"{len(recovery.clean_records)} records and "
+        f"{len(clean_rows)} figures byte-identical"
+    )

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import figures, obs
 from repro.errors import TestkitError
@@ -82,6 +82,14 @@ class ScenarioSpec:
     ingest: Optional[IngestSpec] = None
     #: Figure ids to regenerate; empty means every registered figure.
     figure_ids: Tuple[str, ...] = ()
+    #: Optional :class:`repro.chaos.plan.FaultPlan` driving the chaos
+    #: runner; ``None`` means the scenario declares no fault campaign.
+    #: (Typed loosely to keep testkit importable without the chaos
+    #: package in the import graph.)
+    chaos_plan: Optional[object] = None
+    #: Optional name of a registered perturbation; when set, the run
+    #: offers a "perturbed" build variant for metamorphic contracts.
+    perturb: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name or any(c.isspace() for c in self.name):
@@ -101,6 +109,14 @@ class ScenarioSpec:
             raise TestkitError(
                 f"scenario names unknown figures: {sorted(unknown)}"
             )
+        if self.chaos_plan is not None:
+            from repro.chaos.plan import FaultPlan
+
+            if not isinstance(self.chaos_plan, FaultPlan):
+                raise TestkitError(
+                    "chaos_plan must be a repro.chaos.plan.FaultPlan, "
+                    f"got {type(self.chaos_plan).__name__}"
+                )
 
     def config(self, seed: Optional[int] = None) -> EcosystemConfig:
         """The generator config for this scenario (or a reseeded one)."""
@@ -164,6 +180,12 @@ class ScenarioRun:
                         self.result.dataset.records, columnar=False
                     ),
                 )
+            elif which == "perturbed":
+                if spec.perturb is None:
+                    raise TestkitError(
+                        f"scenario {spec.name!r} declares no perturbation"
+                    )
+                built = get_perturbation(spec.perturb)(self.result)
             else:
                 raise TestkitError(f"unknown build variant {which!r}")
         self._results[which] = built
@@ -180,6 +202,10 @@ class ScenarioRun:
     def row_result(self) -> EcosystemResult:
         """The base build with its dataset on the row backend."""
         return self._build("row")
+
+    def perturbed_result(self) -> EcosystemResult:
+        """The base build transformed by the spec's perturbation."""
+        return self._build("perturbed")
 
     # -- figure rows -----------------------------------------------------
 
@@ -239,6 +265,43 @@ class ScenarioRun:
         events = list(events_from_records(records))
         injector = FaultInjector(spec.mix(), seed=spec.fault_seed)
         return injector.apply(events), injector
+
+
+# ---------------------------------------------------------------------------
+# Perturbation registry
+# ---------------------------------------------------------------------------
+
+#: A perturbation is a pure dataset-level transformation of one built
+#: ecosystem — the metamorphic half of a chaos scenario (flash crowd,
+#: protocol migration wave, ...).  It must be deterministic: the
+#: "perturbed" build variant is cached and compared against "base".
+Perturbation = Callable[[EcosystemResult], EcosystemResult]
+
+_PERTURBATIONS: Dict[str, Perturbation] = {}
+
+
+def register_perturbation(name: str, fn: Perturbation) -> Perturbation:
+    """Add a named perturbation (rejects duplicate names)."""
+    if not name or any(c.isspace() for c in name):
+        raise TestkitError("perturbation name must be non-empty, no spaces")
+    if name in _PERTURBATIONS:
+        raise TestkitError(f"duplicate perturbation name {name!r}")
+    _PERTURBATIONS[name] = fn
+    return fn
+
+
+def perturbation_names() -> List[str]:
+    return sorted(_PERTURBATIONS)
+
+
+def get_perturbation(name: str) -> Perturbation:
+    try:
+        return _PERTURBATIONS[name]
+    except KeyError:
+        raise TestkitError(
+            f"unknown perturbation {name!r}; known: "
+            f"{', '.join(perturbation_names())}"
+        ) from None
 
 
 # ---------------------------------------------------------------------------

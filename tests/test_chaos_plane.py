@@ -1,0 +1,338 @@
+"""Chaos plane: fault-plan DSL, injector determinism, degradation
+contracts, and the scenario-zoo campaign.
+
+The expensive end-to-end assertions run one zoo scenario
+(``flash-crowd``) twice — once through the Python API and once through
+the CLI — and require the two degradation reports to be identical,
+which is the determinism guarantee CI relies on.  The full five-scenario
+campaign runs in the dedicated CI chaos job, not here.
+"""
+
+import json
+import subprocess
+import sys
+from datetime import date
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos import (
+    LAYER_KINDS,
+    PLAN_VERSION,
+    RECOVERABLE_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    Layer,
+    Window,
+    chaos_scenario_names,
+    contract,
+    contract_names,
+    contracts_for,
+    inject_telemetry,
+    run_chaos,
+)
+from repro.chaos.contracts import _CONTRACTS, ContractCheck, run_contract
+from repro.cli import main
+from repro.constants import ContentType
+from repro.errors import ChaosError, ContractViolation, TestkitError
+from repro.telemetry.ingest import events_from_records
+from repro.telemetry.records import ViewRecord
+from repro.testkit.oracles import FAIL, PASS, SKIP, Skip
+from repro.testkit.scenario import get_scenario
+
+ZOO = (
+    "abr-policy-zoo",
+    "flash-crowd",
+    "low-end-device-fleet",
+    "protocol-migration-wave",
+    "regional-cdn-outage",
+)
+
+
+def _records(n=12):
+    return [
+        ViewRecord(
+            snapshot=date(2018, 3, 12),
+            publisher_id=f"pub_{i % 3:03d}",
+            url="http://a.cdn.example.net/vid/master.m3u8",
+            device_model="roku-ultra",
+            os_name="roku",
+            cdn_names=("A",),
+            bitrate_ladder_kbps=(150.0, 600.0),
+            view_duration_hours=0.01 + i * 0.001,
+            avg_bitrate_kbps=600.0,
+            rebuffer_ratio=0.02,
+            content_type=ContentType.VOD,
+            video_id=f"vid_{i:04d}",
+        )
+        for i in range(n)
+    ]
+
+
+def _plan(*specs, name="unit", seed=7):
+    return FaultPlan(name=name, seed=seed, specs=tuple(specs))
+
+
+@pytest.mark.chaos
+class TestFaultPlanDsl:
+    def test_round_trips_through_versioned_json(self):
+        plan = _plan(
+            FaultSpec(FaultKind.DUPLICATE, Layer.TELEMETRY,
+                      Window(0.0, 0.5), intensity=0.1),
+            FaultSpec(FaultKind.OUTAGE, Layer.DELIVERY,
+                      Window(0.2, 0.8), intensity=0.9, target="R12"),
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert plan.to_payload()["version"] == PLAN_VERSION
+
+    def test_unsupported_version_rejected(self):
+        payload = _plan().to_payload()
+        payload["version"] = PLAN_VERSION + 1
+        with pytest.raises(ChaosError):
+            FaultPlan.from_payload(payload)
+
+    def test_malformed_json_and_payloads_rejected(self):
+        with pytest.raises(ChaosError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(ChaosError):
+            FaultPlan.from_json("[]")
+        with pytest.raises(ChaosError):
+            FaultPlan.from_payload({"version": PLAN_VERSION, "seed": 1})
+
+    @pytest.mark.parametrize("start,end", [(0.5, 0.5), (0.6, 0.2),
+                                           (-0.1, 0.5), (0.0, 1.5)])
+    def test_degenerate_windows_rejected(self, start, end):
+        with pytest.raises(ChaosError):
+            Window(start, end)
+
+    def test_window_index_math(self):
+        assert Window(0.2, 0.5).indices(10) == (2, 5)
+        assert Window(0.0, 1.0).indices(0) == (0, 0)
+        # A sliver of a window still covers at least one tick.
+        i0, i1 = Window(0.5, 0.501).indices(10)
+        assert i1 == i0 + 1
+
+    def test_kind_layer_legality_enforced(self):
+        with pytest.raises(ChaosError):
+            FaultSpec(FaultKind.OUTAGE, Layer.TELEMETRY)
+        with pytest.raises(ChaosError):
+            FaultSpec(FaultKind.DROP, Layer.MANIFEST)
+        for layer, kinds in LAYER_KINDS.items():
+            for kind in kinds:
+                target = "A" if layer is Layer.DELIVERY else None
+                FaultSpec(kind, layer, target=target)  # must not raise
+
+    def test_delivery_faults_need_a_target(self):
+        with pytest.raises(ChaosError):
+            FaultSpec(FaultKind.OUTAGE, Layer.DELIVERY)
+
+    @pytest.mark.parametrize("intensity", [0.0, -0.5, 1.5])
+    def test_intensity_bounds_enforced(self, intensity):
+        with pytest.raises(ChaosError):
+            FaultSpec(FaultKind.DROP, Layer.TELEMETRY, intensity=intensity)
+
+    def test_spec_seeds_are_stable_and_distinct(self):
+        specs = [
+            FaultSpec(FaultKind.DROP, Layer.TELEMETRY, intensity=0.1),
+            FaultSpec(FaultKind.DUPLICATE, Layer.TELEMETRY, intensity=0.1),
+        ]
+        plan = _plan(*specs)
+        seeds = [plan.spec_seed(s) for s in plan.specs]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds == [plan.spec_seed(s) for s in plan.specs]
+        foreign = FaultSpec(FaultKind.CORRUPT, Layer.TELEMETRY)
+        with pytest.raises(ChaosError):
+            plan.spec_seed(foreign)
+
+    def test_projections(self):
+        plan = _plan(
+            FaultSpec(FaultKind.DUPLICATE, Layer.TELEMETRY, intensity=0.1),
+            FaultSpec(FaultKind.CORRUPT, Layer.TELEMETRY, intensity=0.1),
+            FaultSpec(FaultKind.OUTAGE, Layer.DELIVERY, target="A"),
+        )
+        recoverable = plan.recoverable()
+        assert all(s.kind in RECOVERABLE_KINDS for s in recoverable.specs)
+        assert len(recoverable.specs) == 2
+        assert recoverable.seed == plan.seed
+        only = plan.only(Layer.DELIVERY)
+        assert [s.layer for s in only.specs] == [Layer.DELIVERY]
+        assert plan.baseline().specs == ()
+        assert plan.layers() == [Layer.DELIVERY, Layer.TELEMETRY]
+
+
+@pytest.mark.chaos
+class TestTelemetryInjectorDeterminism:
+    def test_same_plan_same_stream(self):
+        events = list(events_from_records(_records()))
+        plan = _plan(
+            FaultSpec(FaultKind.DUPLICATE, Layer.TELEMETRY,
+                      Window(0.0, 0.5), intensity=0.2),
+            FaultSpec(FaultKind.REORDER_START, Layer.TELEMETRY,
+                      Window(0.2, 0.9), intensity=0.4),
+        )
+        first = inject_telemetry(events, plan)
+        second = inject_telemetry(events, plan)
+        assert first.events == second.events
+        assert first.injected == second.injected
+        assert first.total_injected > 0
+
+    def test_different_seed_different_stream(self):
+        events = list(events_from_records(_records()))
+        spec = FaultSpec(FaultKind.DROP, Layer.TELEMETRY, intensity=0.3)
+        first = inject_telemetry(events, _plan(spec, seed=1))
+        second = inject_telemetry(events, _plan(spec, seed=2))
+        assert first.events != second.events
+
+    def test_empty_plan_is_identity(self):
+        events = list(events_from_records(_records()))
+        result = inject_telemetry(events, _plan())
+        assert result.events == events
+        assert result.total_injected == 0
+
+
+@pytest.mark.chaos
+class TestContractFramework:
+    def _run(self, name, fn, scenarios=("*",)):
+        contract(name, "test contract", scenarios)(fn)
+        try:
+            chaos_run = SimpleNamespace(spec=SimpleNamespace(name="unit"))
+            return run_contract(_CONTRACTS[name], chaos_run)
+        finally:
+            _CONTRACTS.pop(name, None)
+
+    def test_vacuous_pass_is_a_failure(self):
+        outcome = self._run("unit-vacuous", lambda run, check: "no checks")
+        assert outcome.status == FAIL
+        assert "vacuous" in outcome.detail
+        assert outcome.checks == 0
+
+    def test_violation_becomes_failing_outcome(self):
+        def body(run, check):
+            check.that(True, "fine")
+            check.that(False, "the invariant broke")
+            return "unreached"
+
+        outcome = self._run("unit-violation", body)
+        assert outcome.status == FAIL
+        assert outcome.detail == "the invariant broke"
+        assert outcome.checks == 2
+        assert not outcome.passed
+
+    def test_skip_counts_as_vacuously_passed(self):
+        def body(run, check):
+            raise Skip("layer not in plan")
+
+        outcome = self._run("unit-skip", body)
+        assert outcome.status == SKIP
+        assert outcome.passed
+
+    def test_passing_contract_reports_summary_and_checks(self):
+        def body(run, check):
+            check.that(True, "a")
+            check.that(True, "b")
+            return "verified two things"
+
+        outcome = self._run("unit-pass", body)
+        assert outcome.status == PASS
+        assert outcome.checks == 2
+        assert outcome.detail == "verified two things"
+
+    def test_duplicate_names_and_empty_scopes_rejected(self):
+        existing = contract_names()[0]
+        with pytest.raises(TestkitError):
+            contract(existing, "dup", ("*",))(lambda run, check: "")
+        with pytest.raises(TestkitError):
+            contract("unit-unscoped", "no scope", ())(lambda run, check: "")
+
+    def test_contract_check_raises_typed_violation(self):
+        check = ContractCheck()
+        with pytest.raises(ContractViolation):
+            check.that(False, "typed")
+        assert check.count == 1
+
+
+@pytest.mark.chaos
+class TestScenarioZoo:
+    def test_five_scenarios_carry_chaos_plans(self):
+        assert tuple(chaos_scenario_names()) == ZOO
+
+    def test_every_plan_serializes_and_round_trips(self):
+        for name in ZOO:
+            plan = get_scenario(name).chaos_plan
+            assert FaultPlan.from_json(plan.to_json()) == plan
+            assert plan.specs  # a chaos scenario without faults is a bug
+
+    def test_universal_contracts_cover_every_scenario(self):
+        universal = {"recovered-equals-fault-free", "breaker-reclose",
+                     "no-silent-leaks"}
+        for name in ZOO:
+            applicable = {c.name for c in contracts_for(name)}
+            assert universal <= applicable
+            # Each zoo scenario also carries a scenario-specific contract.
+            assert len(applicable) > len(universal)
+
+    def test_import_order_is_symmetric(self):
+        # The zoo registers once whether repro.chaos or repro.testkit
+        # loads first; both orders must agree on the registry contents.
+        probe = (
+            "import repro.{first}, repro.{second}\n"
+            "from repro.chaos import chaos_scenario_names, contract_names\n"
+            "print(len(chaos_scenario_names()), len(contract_names()))\n"
+        )
+        outputs = set()
+        for first, second in (("chaos", "testkit"), ("testkit", "chaos")):
+            result = subprocess.run(
+                [sys.executable, "-c",
+                 probe.format(first=first, second=second)],
+                capture_output=True, text=True, check=True,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+        scenarios, contracts = outputs.pop().split()
+        assert int(scenarios) == len(ZOO)
+        assert int(contracts) >= 8
+
+
+@pytest.mark.chaos
+class TestChaosCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos(["flash-crowd"])
+
+    def test_flash_crowd_degrades_gracefully(self, report):
+        assert report.ok
+        assert report.failed == 0
+        assert report.passed > 0
+        assert report.checks > 0
+
+    def test_ledger_covers_planned_layers_without_leaks(self, report):
+        (scenario,) = report.reports
+        plan = get_scenario("flash-crowd").chaos_plan
+        assert sorted(scenario.ledger) == [l.value for l in plan.layers()]
+        for layer, counts in scenario.ledger.items():
+            assert counts["leaked"] == 0, layer
+        assert sum(c["injected"] for c in scenario.ledger.values()) > 0
+
+    def test_report_and_cli_run_are_identical(self, report, tmp_path):
+        out = tmp_path / "degradation-report.json"
+        code = main(
+            ["chaos", "run", "--scenario", "flash-crowd", "--json",
+             "--out", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text()) == report.to_payload()
+
+    def test_unknown_scenario_is_a_typed_error(self):
+        with pytest.raises(TestkitError):
+            run_chaos(["not-a-scenario"])
+
+    def test_cli_list_and_plan_exit_codes(self, capsys):
+        assert main(["chaos", "list"]) == 0
+        assert "flash-crowd" in capsys.readouterr().out
+        assert main(["chaos", "plan", "--scenario", "flash-crowd"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == PLAN_VERSION
+        assert main(["chaos", "plan", "--scenario", "nope"]) == 2
+        capsys.readouterr()

@@ -14,7 +14,7 @@ from repro.delivery.multicdn import (
     WeightedPolicy,
 )
 from repro.entities.cdn import CDN, CdnAssignment
-from repro.errors import DeliveryError
+from repro.errors import AllCdnsFailedError, DeliveryError, TransportError
 
 
 def _assignments(*names, vod_only=(), live_only=()):
@@ -357,6 +357,58 @@ class TestResilientFetcher:
 
         with pytest.raises(DeliveryError):
             fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+
+    def test_all_cdns_down_attributes_every_cdn(self):
+        now = [0.0]
+
+        def clock():
+            now[0] += 0.25  # every clock read advances injected time
+            return now[0]
+
+        fetcher, _ = self._fetcher(clock=clock)
+
+        def fetch(name):
+            raise TransportError(f"{name} unreachable")
+
+        with pytest.raises(AllCdnsFailedError) as info:
+            fetcher.fetch(
+                _assignments("A", "B", "C"), ContentType.VOD, fetch
+            )
+        attribution = info.value.attribution
+        # One attempt entry per eligible CDN, in ranked (EWMA) order.
+        assert [a.cdn_name for a in attribution] == ["A", "B", "C"]
+        for attempt in attribution:
+            assert attempt.outcome == "failed"
+            # retries=1 means two tries against each CDN.
+            assert attempt.attempts == 2
+            assert attempt.elapsed > 0.0
+            assert "unreachable" in attempt.error
+        # The typed error is still a DeliveryError for legacy callers.
+        assert isinstance(info.value, DeliveryError)
+
+    def test_all_cdns_down_attributes_open_circuits(self):
+        now = [0.0]
+        fetcher, _ = self._fetcher(clock=lambda: now[0])
+
+        def fetch(name):
+            raise TransportError(f"{name} down")
+
+        # Two failing calls (threshold=2) open every breaker.
+        for _ in range(2):
+            with pytest.raises(AllCdnsFailedError):
+                fetcher.fetch(
+                    _assignments("A", "B"), ContentType.VOD, fetch
+                )
+        with pytest.raises(AllCdnsFailedError) as info:
+            fetcher.fetch(_assignments("A", "B"), ContentType.VOD, fetch)
+        attribution = info.value.attribution
+        assert [a.outcome for a in attribution] == (
+            ["circuit-open", "circuit-open"]
+        )
+        for attempt in attribution:
+            assert attempt.attempts == 0
+            assert attempt.elapsed == 0.0
+            assert "circuit open" in attempt.error
 
     def test_ranked_orders_by_ewma(self):
         _, broker = self._fetcher()

@@ -192,6 +192,43 @@ class TestCircuitBreaker:
         assert breaker.state is CircuitState.OPEN
         assert not breaker.allow()
 
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=30.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(31.0)
+        # Inspecting state must not claim the probe slot.
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.state is CircuitState.HALF_OPEN
+        # First allow() claims the single probe; concurrent callers in
+        # the same half-open window are rejected.
+        assert breaker.allow()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.state is CircuitState.HALF_OPEN
+
+    def test_probe_slot_refreshes_each_half_open_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=30.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(31.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: back to OPEN
+        assert breaker.state is CircuitState.OPEN
+        clock.advance(31.0)
+        # A fresh half-open window must offer a fresh probe slot.
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+        # Closed again: allow() is unrestricted.
+        assert breaker.allow()
+        assert breaker.allow()
+
 
 class TestDeadline:
     def test_remaining_and_expiry(self):

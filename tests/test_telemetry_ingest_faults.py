@@ -363,6 +363,114 @@ class TestDeadLetterReasons:
         assert len(report.records) == 1
 
 
+@pytest.mark.robustness
+class TestIngestEdgeCases:
+    """Boundary conditions: empty streams, exact-capacity overflow,
+    duplicate bursts larger than any buffering window."""
+
+    def run(self, events, **kwargs):
+        return IngestPipeline(ErrorPolicy.QUARANTINE, **kwargs).run(events)
+
+    def test_zero_length_stream_through_injector_and_pipeline(self):
+        injector = FaultInjector(FaultMix.uniform(0.5), seed=1)
+        assert injector.apply([]) == []
+        assert injector.log == []
+        assert injector.corrupted_sessions == set()
+        report = self.run([])
+        assert report.total_events == 0
+        assert report.records == []
+        assert report.quarantined == 0
+        assert report.deduped == 0
+        assert (
+            report.accepted + report.deduped + report.event_quarantined
+            == report.total_events
+        )
+
+    def test_zero_length_stream_in_strict_and_repair_modes(self):
+        for policy in (ErrorPolicy.STRICT, ErrorPolicy.REPAIR):
+            report = IngestPipeline(policy).run([])
+            assert report.total_events == 0
+            assert report.records == []
+
+    def test_reorder_buffer_fills_to_exact_capacity_without_loss(self):
+        # Exactly `capacity` early heartbeats park; the late start
+        # replays every one of them, so nothing is lost at the boundary.
+        capacity = 4
+        events = [_beat("late", seq=i) for i in range(capacity)]
+        events += [_start("late"), SessionEnd("late")]
+        report = self.run(events, reorder_buffer=capacity)
+        assert report.quarantined == 0
+        assert len(report.records) == 1
+        assert report.records[0].view_duration_hours == pytest.approx(
+            capacity * 18.0 / 3600
+        )
+        assert (
+            report.accepted + report.deduped + report.event_quarantined
+            == report.total_events
+        )
+
+    def test_one_past_exact_capacity_overflows_exactly_once(self):
+        capacity = 4
+        events = [_beat("late", seq=i) for i in range(capacity + 1)]
+        events += [_start("late"), SessionEnd("late")]
+        report = self.run(events, reorder_buffer=capacity)
+        counts = report.reason_counts()
+        assert counts[RejectReason.REORDER_OVERFLOW.value] == 1
+        assert report.quarantined == 1
+        # The parked events still replay once the start arrives.
+        assert len(report.records) == 1
+        assert report.records[0].view_duration_hours == pytest.approx(
+            capacity * 18.0 / 3600
+        )
+        assert (
+            report.accepted + report.deduped + report.event_quarantined
+            == report.total_events
+        )
+
+    def test_zero_capacity_buffer_rejects_every_early_event(self):
+        # Disabling the buffer entirely (capacity 0) quarantines early
+        # events as orphans instead of overflowing.
+        events = [_beat("late", seq=0), _start("late"), _beat("late", seq=1),
+                  SessionEnd("late")]
+        report = self.run(events, reorder_buffer=0)
+        counts = report.reason_counts()
+        assert counts[RejectReason.ORPHAN_HEARTBEAT.value] == 1
+        assert RejectReason.REORDER_OVERFLOW.value not in counts
+        assert len(report.records) == 1  # folds from the in-order beat
+
+    def test_duplicate_seq_burst_larger_than_reorder_buffer(self):
+        # Seq dedup is per-session and unbounded: a burst of duplicates
+        # far wider than the reorder buffer still collapses to one beat.
+        burst = 12
+        events = [_start()]
+        events += [_beat(seq=0)] * burst
+        events += [_beat(seq=1), SessionEnd("s1")]
+        report = self.run(events, reorder_buffer=2)
+        assert report.deduped == burst - 1
+        assert report.quarantined == 0
+        assert len(report.records) == 1
+        assert report.records[0].view_duration_hours == pytest.approx(
+            36.0 / 3600
+        )
+        assert (
+            report.accepted + report.deduped + report.event_quarantined
+            == report.total_events
+        )
+
+    def test_interleaved_duplicate_bursts_dedup_per_session(self):
+        events = [_start("a"), _start("b")]
+        for _ in range(8):
+            events.append(_beat("a", seq=0))
+            events.append(_beat("b", seq=0))
+        events += [SessionEnd("a"), SessionEnd("b")]
+        report = self.run(events)
+        # One surviving beat per session; the other 14 dedup away.
+        assert report.deduped == 14
+        assert len(report.records) == 2
+        for record in report.records:
+            assert record.view_duration_hours == pytest.approx(18.0 / 3600)
+
+
 class TestFaultInjectorDeterminism:
     def test_same_seed_same_stream(self, clean_events):
         mix = FaultMix.uniform(0.3)
