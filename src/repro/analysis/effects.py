@@ -1,0 +1,508 @@
+"""Effect and taint inference over the call graph.
+
+Layer three of repgraph.  Two passes run over every function (and over
+each module's import-time ``<module>`` pseudo-function):
+
+1. **Direct effects** — a single AST walk per function records
+   * writes to module globals (``global`` rebinding, attribute or
+     subscript stores, and mutating method calls like ``.append`` on a
+     module-level name),
+   * mutation of closure-captured state (``nonlocal`` or mutating
+     calls on names bound in an enclosing function),
+   * wall-clock reads (``time.time``, ``datetime.now`` &c., resolved
+     through the symbol table so ``from time import time as _t`` still
+     counts),
+   * uses of module-global RNG streams, and RNG constructions with
+     their seededness.
+
+2. **Summaries** — a fixpoint over the call graph unions callee
+   effects into callers, so "does this worker touch shared state?"
+   is answerable at any fan-out site.  Calls into :mod:`repro.obs`
+   and :mod:`logging` are *not* propagated: the obs layer is
+   determinism-neutral by construction (output is byte-identical with
+   observability on or off), which keeps instrumented code from being
+   flagged for its instrumentation.
+
+A separate fixpoint computes **clock return-taint**: whether a
+function's return value derives from a wall-clock read, directly or
+through calls to other clock-tainted functions, plus any flows of
+tainted values into ``json.dump``/``json.dumps`` arguments.
+Every recorded site is a ``(path, line, detail)`` triple so analyses
+can report at the offending source line with a provenance chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, MODULE_FN
+from repro.analysis.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    RNG_CONSTRUCTORS,
+    normalize_dotted,
+)
+
+#: Wall-clock reads (monotonic clocks are interval-only and stay legal).
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "date.today",
+    }
+)
+
+#: Callees whose effects are never propagated to callers.
+NEUTRAL_PREFIXES: Tuple[str, ...] = ("repro.obs", "logging")
+
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "clear", "remove", "discard", "sort",
+        "reverse", "appendleft", "extendleft",
+    }
+)
+
+_JSON_SINKS = frozenset({"json.dump", "json.dumps"})
+
+Site = Tuple[str, int, str]  # (function qualname, line, detail)
+
+
+@dataclass
+class Effects:
+    """Effect set of one function (direct or summarized)."""
+
+    writes_global: Set[Tuple[str, str]] = field(default_factory=set)
+    mutates_capture: Set[Tuple[str, str]] = field(default_factory=set)
+    clock_sites: Set[Site] = field(default_factory=set)
+    rng_uses: Set[Tuple[str, str]] = field(default_factory=set)
+    rng_origins: List[Tuple[int, str, bool]] = field(default_factory=list)
+
+    def merge_propagated(self, other: "Effects") -> bool:
+        """Union the propagatable parts of ``other``; True if grown."""
+        before = (
+            len(self.writes_global),
+            len(self.mutates_capture),
+            len(self.clock_sites),
+            len(self.rng_uses),
+        )
+        self.writes_global |= other.writes_global
+        self.mutates_capture |= other.mutates_capture
+        self.clock_sites |= other.clock_sites
+        self.rng_uses |= other.rng_uses
+        return before != (
+            len(self.writes_global),
+            len(self.mutates_capture),
+            len(self.clock_sites),
+            len(self.rng_uses),
+        )
+
+    @property
+    def impure(self) -> bool:
+        return bool(self.writes_global or self.mutates_capture)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _body_nodes(root: ast.AST):
+    """Walk a function body without entering nested defs/lambdas."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _bound_names(root: ast.AST) -> Set[str]:
+    """Names bound locally inside one function body."""
+    bound: Set[str] = set()
+    if isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = root.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            bound.add(arg.arg)
+        if args.vararg:
+            bound.add(args.vararg.arg)
+        if args.kwarg:
+            bound.add(args.kwarg.arg)
+    for node in _body_nodes(root):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    bound.add(name_node.id)
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            for name_node in ast.walk(node.optional_vars):
+                if isinstance(name_node, ast.Name):
+                    bound.add(name_node.id)
+        elif isinstance(node, ast.comprehension):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    bound.add(name_node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+    return bound
+
+
+class EffectAnalysis:
+    """Direct + summarized effects, and clock return-taint."""
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self.direct: Dict[str, Effects] = {}
+        self.summary: Dict[str, Effects] = {}
+        self.returns_clock: Dict[str, bool] = {}
+        self.json_sink_sites: List[Site] = []
+        self._capture_env: Dict[str, Set[str]] = {}
+        self._rng_symbols = project.rng_symbols()
+        self.run()
+
+    # -- entry ----------------------------------------------------------
+
+    def run(self) -> None:
+        for name in sorted(self.project.modules):
+            module = self.project.modules[name]
+            if module.tree is None:
+                continue
+            qualname = f"{name}.{MODULE_FN}"
+            self.direct[qualname] = self._direct_effects(
+                module, module.tree, qualname, enclosing_bound=set()
+            )
+        for qualname in sorted(self.project.functions):
+            info = self.project.functions[qualname]
+            module = self.project.modules[info.module]
+            enclosing = self._enclosing_bound(info)
+            self.direct[qualname] = self._direct_effects(
+                module, info.node, qualname, enclosing_bound=enclosing
+            )
+        self._fixpoint_summaries()
+        self._fixpoint_clock_taint()
+
+    def effects_of(self, qualname: str) -> Effects:
+        """Summarized effects; empty for unknown functions."""
+        return self.summary.get(qualname, Effects())
+
+    # -- direct pass ----------------------------------------------------
+
+    def _enclosing_bound(self, info: FunctionInfo) -> Set[str]:
+        """Names bound in enclosing function scopes (capture sources)."""
+        bound: Set[str] = set()
+        parent = info.parent
+        while parent is not None:
+            parent_info = self.project.functions.get(parent)
+            if parent_info is None:
+                break
+            bound |= _bound_names(parent_info.node)
+            parent = parent_info.parent
+        return bound
+
+    def _direct_effects(
+        self,
+        module: ModuleInfo,
+        root: ast.AST,
+        qualname: str,
+        enclosing_bound: Set[str],
+    ) -> Effects:
+        effects = Effects()
+        local = _bound_names(root)
+        declared_global: Set[str] = set()
+        declared_nonlocal: Set[str] = set()
+        module_names = (
+            set(module.global_names)
+            | set(module.mutable_globals)
+            | set(module.rng_globals)
+        )
+
+        def is_module_global(name: str) -> bool:
+            if name in declared_global:
+                return True
+            if qualname.endswith(f".{MODULE_FN}"):
+                return name in module_names
+            return name in module_names and name not in local
+
+        def is_capture(name: str) -> bool:
+            if name in declared_nonlocal:
+                return True
+            return (
+                name in enclosing_bound
+                and name not in local
+                and name not in module_names
+            )
+
+        for node in _body_nodes(root):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                declared_nonlocal.update(node.names)
+
+        for node in _body_nodes(root):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    self._record_store(
+                        module, qualname, effects, target,
+                        is_module_global, is_capture,
+                    )
+            elif isinstance(node, ast.Call):
+                self._record_call(
+                    module, qualname, effects, node,
+                    is_module_global, is_capture,
+                )
+            elif isinstance(node, (ast.Name, ast.Attribute)) and isinstance(
+                node.ctx, ast.Load
+            ):
+                self._record_rng_use(
+                    module, qualname, effects, node, local
+                )
+        return effects
+
+    def _record_rng_use(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        effects: Effects,
+        node: ast.AST,
+        local: Set[str],
+    ) -> None:
+        """Record loads of module-global RNG streams.
+
+        Covers the stream's home module (bare ``RNG``) and every
+        import shape — ``streams.RNG``, ``from .streams import RNG``
+        — by resolving the dotted chain through the symbol table, so
+        a worker defined two modules away from the stream still
+        carries the use in its summary.
+        """
+        base = node
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        if base.id in local and not qualname.endswith(f".{MODULE_FN}"):
+            return
+        dotted = _dotted(node)
+        if dotted is None:
+            return
+        resolved = normalize_dotted(self.project.resolve(module, dotted))
+        rng = self._rng_symbols.get(resolved)
+        if rng is None and isinstance(node, ast.Name):
+            rng = module.rng_globals.get(node.id)
+        if rng is not None:
+            effects.rng_uses.add((rng.symbol, qualname))
+
+    def _record_store(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        effects: Effects,
+        target: ast.AST,
+        is_module_global,
+        is_capture,
+    ) -> None:
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        name = base.id
+        if isinstance(target, ast.Name):
+            # A plain rebinding only writes shared state with an
+            # explicit ``global`` declaration (otherwise it creates a
+            # local); module-level rebinding is definition, not
+            # mutation.
+            if not qualname.endswith(f".{MODULE_FN}") and is_module_global(
+                name
+            ):
+                effects.writes_global.add(
+                    (f"{module.name}.{name}", qualname)
+                )
+            return
+        # Attribute/subscript store through a shared or captured base.
+        if is_module_global(name):
+            effects.writes_global.add((f"{module.name}.{name}", qualname))
+        elif is_capture(name):
+            effects.mutates_capture.add((name, qualname))
+
+    def _record_call(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        effects: Effects,
+        node: ast.Call,
+        is_module_global,
+        is_capture,
+    ) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        head, _, rest = dotted.partition(".")
+        if rest and "." not in rest and rest in _MUTATING_METHODS:
+            if is_module_global(head):
+                effects.writes_global.add((f"{module.name}.{head}", qualname))
+            elif is_capture(head):
+                effects.mutates_capture.add((head, qualname))
+        resolved = normalize_dotted(self.project.resolve(module, dotted))
+        if resolved in WALL_CLOCK_CALLS or dotted in WALL_CLOCK_CALLS:
+            effects.clock_sites.add((qualname, node.lineno, resolved))
+        if resolved in RNG_CONSTRUCTORS:
+            effects.rng_origins.append(
+                (node.lineno, resolved, bool(node.args or node.keywords))
+            )
+
+    # -- summaries ------------------------------------------------------
+
+    def _neutral(self, qualname: str) -> bool:
+        return any(
+            qualname == p or qualname.startswith(p + ".")
+            for p in NEUTRAL_PREFIXES
+        )
+
+    def _fixpoint_summaries(self) -> None:
+        self.summary = {}
+        for qualname, eff in self.direct.items():
+            copy = Effects()
+            copy.merge_propagated(eff)
+            copy.rng_origins = list(eff.rng_origins)
+            self.summary[qualname] = copy
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(self.summary):
+                mine = self.summary[qualname]
+                for callee in self.graph.callees(qualname):
+                    if self._neutral(callee):
+                        continue
+                    other = self.summary.get(callee)
+                    if other is None:
+                        continue
+                    if mine.merge_propagated(other):
+                        changed = True
+
+    # -- clock return-taint ---------------------------------------------
+
+    def _fixpoint_clock_taint(self) -> None:
+        self.returns_clock = {q: False for q in self.direct}
+        sink_sites: Set[Site] = set()
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(self.direct):
+                info = self.project.functions.get(qualname)
+                module = self.project.modules.get(
+                    qualname.rsplit(".", 1)[0]
+                    if qualname.endswith(f".{MODULE_FN}")
+                    else (info.module if info else "")
+                )
+                if module is None:
+                    continue
+                root = (
+                    module.tree
+                    if qualname.endswith(f".{MODULE_FN}")
+                    else info.node
+                )
+                if root is None:
+                    continue
+                returns, sinks = self._taint_function(module, qualname, root)
+                if returns and not self.returns_clock[qualname]:
+                    self.returns_clock[qualname] = True
+                    changed = True
+                new_sinks = sinks - sink_sites
+                if new_sinks:
+                    sink_sites |= new_sinks
+                    changed = True
+        self.json_sink_sites = sorted(sink_sites)
+
+    def _taint_function(
+        self, module: ModuleInfo, qualname: str, root: ast.AST
+    ) -> Tuple[bool, Set[Site]]:
+        tainted: Set[str] = set()
+        sinks: Set[Site] = set()
+        returns = False
+
+        def expr_tainted(node: ast.AST) -> bool:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, ast.Load
+                ):
+                    if sub.id in tainted:
+                        return True
+                elif isinstance(sub, ast.Call):
+                    dotted = _dotted(sub.func)
+                    if dotted is None:
+                        continue
+                    resolved = normalize_dotted(
+                        self.project.resolve(module, dotted)
+                    )
+                    if (
+                        resolved in WALL_CLOCK_CALLS
+                        or dotted in WALL_CLOCK_CALLS
+                    ):
+                        return True
+                    if self.returns_clock.get(resolved):
+                        return True
+            return False
+
+        for node in _body_nodes(root):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                if value is None or not expr_tainted(value):
+                    continue
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            tainted.add(name_node.id)
+            elif isinstance(node, ast.Return):
+                if node.value is not None and expr_tainted(node.value):
+                    returns = True
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                resolved = normalize_dotted(
+                    self.project.resolve(module, dotted)
+                )
+                if resolved in _JSON_SINKS or dotted in _JSON_SINKS:
+                    args = list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]
+                    if any(expr_tainted(a) for a in args):
+                        sinks.add(
+                            (qualname, node.lineno, "json payload")
+                        )
+        return returns, sinks

@@ -1,0 +1,69 @@
+"""repgraph reporters: human text, versioned JSON, graph artifact.
+
+The JSON report is the CI contract: ``version`` pins the shape,
+``summary.new_errors`` is the gate, and the whole document is a
+deterministic function of the analyzed sources — every collection is
+sorted and nothing derives from the wall clock, so two runs over the
+same tree are byte-identical (the golden tests pin exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.analysis.analyses import ANALYSES
+from repro.analysis.engine import ANALYSIS_VERSION, AnalysisResult
+from repro.lint.findings import Severity
+
+
+def format_text(result: AnalysisResult) -> str:
+    lines = [f.format() for f in result.findings]
+    stats = result.stats
+    summary = (
+        f"{stats.get('files', 0)} files analyzed: "
+        f"{stats.get('modules', 0)} modules, "
+        f"{stats.get('functions', 0)} functions, "
+        f"{stats.get('call_edges', 0)} call edges, "
+        f"{stats.get('fanout_sites', 0)} fan-out sites; "
+        f"{len(result.errors)} error(s)"
+    )
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    if not result.findings and not result.baselined:
+        summary += " — determinism proven clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: AnalysisResult) -> str:
+    by_code: Dict[str, int] = {}
+    for f in result.findings:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+    payload = {
+        "version": ANALYSIS_VERSION,
+        "analyses": {
+            code: ANALYSES[code][0] for code in sorted(ANALYSES)
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "summary": {
+            **{k: result.stats[k] for k in sorted(result.stats)},
+            "findings_by_code": by_code,
+            "new_errors": sum(
+                1
+                for f in result.findings
+                if f.severity is Severity.ERROR
+            ),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def graph_json(result: AnalysisResult) -> str:
+    """The ``--graph-out`` artifact: the resolved call graph."""
+    payload = {"version": ANALYSIS_VERSION}
+    if result.graph is not None:
+        payload.update(result.graph.to_dict())
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -8,6 +8,8 @@
     repro summary [--seed N]     # §4.4 roll-up
     repro ingest --policy quarantine --fault-rate 0.2   # robustness demo
     repro metrics                # instrument taxonomy + snapshot
+    repro lint [paths...]        # per-file replint rules (RPL00x)
+    repro analyze [paths...]     # whole-program repgraph pass (RPL1xx)
 
 Figures that need generator ground truth (catalogue sizes, the case
 study) regenerate the ecosystem from the seed; pure-dataset figures can
@@ -220,6 +222,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the JSON degradation report to PATH",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help=(
+            "repgraph whole-program analysis: call graph + RNG/clock/"
+            "purity dataflow (RPL1xx)"
+        ),
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: [tool.replint] analysis_paths)",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="finding output format (default: text)",
+    )
+    analyze.add_argument(
+        "--baseline",
+        action="store_true",
+        help="snapshot current findings into the analysis baseline, exit 0",
+    )
+    analyze.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the analysis baseline file",
+    )
+    analyze.add_argument(
+        "--graph-out",
+        default=None,
+        metavar="PATH",
+        help="also write the resolved call graph as JSON to PATH",
+    )
+    analyze.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the report (in the chosen format) to PATH",
+    )
+    analyze.add_argument(
+        "--root",
+        default=".",
+        help="project root containing pyproject.toml (default: cwd)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="replint static analysis: determinism/units/error hygiene",
@@ -374,6 +423,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "chaos":
         return _chaos(args)
 
+    if args.command == "analyze":
+        return _analyze(args)
+
     if args.command == "lint":
         return _lint(args)
 
@@ -517,6 +569,56 @@ def _metrics(args: argparse.Namespace) -> int:
     print(f"\n{len(rows)} instruments in catalog; "
           f"{populated} series populated this process")
     return 0
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    """Run repgraph; see repro.analysis for the RPL1xx analyses."""
+    import os
+    from pathlib import Path
+
+    from repro.analysis import (
+        format_json,
+        format_text,
+        graph_json,
+        run_analysis,
+    )
+    from repro.lint import LintConfig, write_baseline
+    from repro.lint.registry import LintRuleError
+
+    try:
+        config = LintConfig.load(args.root)
+        result = run_analysis(
+            args.paths or None,
+            config=config,
+            use_baseline=not args.no_baseline,
+        )
+        if args.baseline:
+            baseline_path = os.path.join(
+                args.root, config.analysis_baseline_path
+            )
+            count = write_baseline(
+                baseline_path, result.findings + result.baselined
+            )
+            print(f"wrote {count} suppression(s) to {baseline_path}")
+            return 0
+    except LintRuleError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    report = (
+        format_json(result)
+        if args.output_format == "json"
+        else format_text(result)
+    )
+    if args.out:
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(f"wrote analysis report to {args.out}", file=sys.stderr)
+    if args.graph_out:
+        Path(args.graph_out).write_text(
+            graph_json(result) + "\n", encoding="utf-8"
+        )
+        print(f"wrote call graph to {args.graph_out}", file=sys.stderr)
+    print(report)
+    return result.exit_code
 
 
 def _lint(args: argparse.Namespace) -> int:

@@ -5,7 +5,7 @@ habits keep this reproduction honest — every figure derives from an
 explicit seed, quantities never silently change units, and failures
 surface through the :mod:`repro.errors` taxonomy rather than vanishing
 into broad handlers.  ``replint`` walks the AST of every source file
-and enforces those habits at commit time with six rules:
+and enforces those habits at commit time with eight rules:
 
 ========  ==========================================================
 RPL001    unseeded randomness in synthesis/fault/playback paths
@@ -16,7 +16,14 @@ RPL004    ``==``/``!=`` against float literals in ``stats/``
 RPL005    arithmetic mixing identifiers with conflicting unit
           suffixes (``_ms`` vs ``_s``, ``_kbps`` vs ``_bps``, ...)
 RPL006    iterating a ``set`` into ordered output in figure code
+RPL007    clock read or ``print()`` bypassing :mod:`repro.obs` in
+          instrumented modules
+RPL008    bare ``print()`` anywhere in shipped library code
 ========  ==========================================================
+
+The whole-program RPL1xx family (call-graph + dataflow analyses)
+lives in :mod:`repro.analysis` and reports through the same findings,
+pragma, and baseline machinery.
 
 Public API::
 

@@ -36,6 +36,7 @@ except ModuleNotFoundError:  # pragma: no cover - depends on interpreter
         _toml = None  # type: ignore[assignment]
 
 DEFAULT_BASELINE = ".replint-baseline.json"
+DEFAULT_ANALYSIS_BASELINE = ".repgraph-baseline.json"
 DEFAULT_EXCLUDE = ("*/__pycache__/*", "*/.git/*", "*/build/*", "*/dist/*")
 
 
@@ -138,6 +139,11 @@ class LintConfig:
     baseline_path: str = DEFAULT_BASELINE
     disabled: List[str] = field(default_factory=list)
     overrides: Dict[str, RuleOverride] = field(default_factory=dict)
+    #: Whole-program analyzer defaults (``repro analyze``): analysis
+    #: covers the shipped sources only and keeps its own baseline so
+    #: per-file and whole-program suppressions never mix.
+    analysis_paths: List[str] = field(default_factory=lambda: ["src"])
+    analysis_baseline_path: str = DEFAULT_ANALYSIS_BASELINE
 
     def override_for(self, code: str) -> RuleOverride:
         return self.overrides.get(code, RuleOverride())
@@ -171,6 +177,12 @@ class LintConfig:
         baseline = section.get("baseline")
         if isinstance(baseline, str) and baseline:
             config.baseline_path = baseline
+        config.analysis_paths = _str_list(
+            section.get("analysis_paths"), config.analysis_paths
+        )
+        analysis_baseline = section.get("analysis_baseline")
+        if isinstance(analysis_baseline, str) and analysis_baseline:
+            config.analysis_baseline_path = analysis_baseline
         config.disabled = _str_list(section.get("disable"), [])
         rules = section.get("rules", {})
         if isinstance(rules, dict):

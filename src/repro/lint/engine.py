@@ -58,8 +58,12 @@ class LintResult:
         return 0 if self.ok else 1
 
 
-def _pragma_map(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """Line number -> codes disabled on that line."""
+def pragma_map(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Line number -> codes disabled on that line.
+
+    Public because the whole-program analyzer (:mod:`repro.analysis`)
+    honors the same inline pragmas for its RPL1xx findings.
+    """
     pragmas: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(lines, start=1):
         match = _PRAGMA_RE.search(line)
@@ -77,9 +81,10 @@ def _pragma_map(lines: Sequence[str]) -> Dict[int, Set[str]]:
     return pragmas
 
 
-def _apply_pragmas(
+def apply_pragmas(
     findings: Sequence[Finding], pragmas: Dict[int, Set[str]]
 ) -> List[Finding]:
+    """Drop findings whose line disables their code (or all codes)."""
     if not pragmas:
         return list(findings)
     kept: List[Finding] = []
@@ -123,16 +128,24 @@ def lint_source(
     lines = source.splitlines()
     try:
         tree = ast.parse(source, filename=norm)
-    except SyntaxError as exc:
+    except (SyntaxError, ValueError, RecursionError, MemoryError) as exc:
+        # Not just SyntaxError: null bytes raise ValueError on some
+        # interpreters, and pathologically nested expressions exhaust
+        # the parser's recursion/memory limits.  One broken file must
+        # become a structured finding, not kill the whole run.
+        lineno = getattr(exc, "lineno", None) or 1
+        offset = getattr(exc, "offset", None) or 1
+        msg = getattr(exc, "msg", None) or str(exc) or type(exc).__name__
+        text = getattr(exc, "text", None) or ""
         return [
             Finding(
                 path=norm,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
+                line=lineno,
+                col=offset - 1,
                 code=PARSE_ERROR_CODE,
                 severity=Severity.ERROR,
-                message=f"file does not parse: {exc.msg}",
-                source_line=(exc.text or "").strip(),
+                message=f"file does not parse: {msg}",
+                source_line=text.strip(),
             )
         ]
     rules = _rules_for(norm, cfg)
@@ -141,7 +154,7 @@ def lint_source(
     findings: List[Finding] = []
     visitor = MultiRuleVisitor(rules)
     visitor.run(tree, norm, lines, findings.append)
-    findings = _apply_pragmas(findings, _pragma_map(lines))
+    findings = apply_pragmas(findings, pragma_map(lines))
     return sorted(findings, key=lambda f: f.sort_key())
 
 
@@ -152,24 +165,31 @@ def collect_files(
 
     Paths are returned relative to ``config.root`` in posix form —
     the same shape rule scopes, pragmas, and baselines key on.
+
+    Every path is canonicalized (``realpath``) before deduplication,
+    so overlapping arguments (``src src/repro``), ``..`` detours, and
+    symlinked aliases of the same tree each lint a file exactly once
+    instead of emitting duplicate findings.
     """
-    root = os.path.abspath(config.root)
+    root = os.path.realpath(os.path.abspath(config.root))
     seen: Set[str] = set()
     out: List[str] = []
 
     def add(abs_path: str) -> None:
-        rel = os.path.relpath(abs_path, root).replace(os.sep, "/")
-        if rel in seen:
+        real = os.path.realpath(abs_path)
+        if real in seen:
             return
+        rel = os.path.relpath(real, root).replace(os.sep, "/")
         if any(fnmatch.fnmatch(rel, pat) for pat in config.exclude):
             return
-        seen.add(rel)
+        seen.add(real)
         out.append(rel)
 
     for path in paths:
         abs_path = (
             path if os.path.isabs(path) else os.path.join(root, path)
         )
+        abs_path = os.path.realpath(abs_path)
         if os.path.isfile(abs_path):
             add(abs_path)
             continue

@@ -9,6 +9,7 @@ module per invariant family:
 - :mod:`unit_suffixes` — RPL005 conflicting unit suffixes
 - :mod:`ordering` — RPL006 set-iteration order dependence
 - :mod:`obs_hygiene` — RPL007 obs-layer bypass in instrumented modules
+- :mod:`prints` — RPL008 bare ``print()`` in shipped library code
 """
 
 from __future__ import annotations
@@ -19,5 +20,6 @@ from repro.lint.rules import (  # noqa: F401  (imports register the rules)
     numerics,
     obs_hygiene,
     ordering,
+    prints,
     unit_suffixes,
 )

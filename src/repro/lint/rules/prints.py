@@ -1,0 +1,46 @@
+"""RPL008: no bare ``print()`` in shipped library code.
+
+A ``print`` in library code is output the caller cannot capture,
+silence, or attribute: it lands on whatever stdout the process happens
+to own, carries no event name, span id, or seed, and disappears from
+any machine-readable record of the run.  Everything the library wants
+to say must go through :func:`repro.obs.emit` (or the module logger it
+wraps) so the message is structured, switchable, and replayable.
+
+The CLI module is exempt — printing *is* its job — and RPL007 already
+polices the instrumented modules with a more specific message; this
+rule widens the net to all of ``src/``.  (Docstrings showing
+``print(...)`` in examples are untouched: the rule matches AST call
+nodes, not text.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import BaseRule, rule
+from repro.lint.rules.common import dotted_name
+from repro.lint.rules.obs_hygiene import ObsBypass
+
+
+@rule
+class BarePrint(BaseRule):
+    """RPL008: bare print() in library code bypasses repro.obs logs."""
+
+    code = "RPL008"
+    description = "bare print() in library code; route through repro.obs"
+    scope = ("src/*",)
+    # One door per file: inside the instrumented modules RPL007 flags
+    # the same print() with its more specific remedy, so they are
+    # carved out of this rule rather than double-reported.
+    exempt = ("*/cli.py",) + ObsBypass.scope
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if dotted_name(node.func) == "print":
+            self.report(
+                node,
+                "bare print() in library code cannot be captured, "
+                "silenced, or attributed to a run; use "
+                "obs.emit(event, **fields) so the message is "
+                "structured and carries the span id and seed",
+            )

@@ -168,6 +168,24 @@ CATALOG: Tuple[InstrumentSpec, ...] = (
         "chaos.scenarios", "gauge",
         "scenarios in the most recent chaos campaign",
     ),
+    # -- analysis (repgraph) ---------------------------------------------
+    InstrumentSpec(
+        "analysis.modules", "gauge",
+        "modules parsed by the last whole-program analysis run",
+    ),
+    InstrumentSpec(
+        "analysis.functions", "gauge",
+        "functions (incl. methods) indexed by the last analysis run",
+    ),
+    InstrumentSpec(
+        "analysis.call_edges", "gauge",
+        "resolved call-graph edges in the last analysis run",
+    ),
+    InstrumentSpec(
+        "analysis.findings", "counter",
+        "non-baselined RPL1xx findings by rule code",
+        labels=("code",),
+    ),
 )
 
 

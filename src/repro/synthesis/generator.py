@@ -21,7 +21,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from datetime import date
-from functools import partial
+from functools import lru_cache, partial
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -186,20 +186,27 @@ def _snapshot_t(index: int, n_snapshots: int) -> float:
     return index / last if last > 0 else 1.0
 
 
-#: Per-process plan cache for pool workers.  Under the ``fork`` start
-#: method the parent's entry is inherited and reused directly; under
-#: ``spawn`` each worker rebuilds the plan from the config once.
-_WORKER_PLAN: Optional[Tuple[cal.EcosystemConfig, _SynthesisPlan]] = None
+@lru_cache(maxsize=1)
+def _plan_for(config: cal.EcosystemConfig) -> _SynthesisPlan:
+    """Per-process plan memo: a pure function of the (frozen) config.
+
+    ``_build_plan`` consumes only ``default_rng(config.seed)`` in a
+    fixed order, so memoization is semantically invisible — any
+    process rebuilds bit-for-bit from the config alone.  Under the
+    ``fork`` start method workers inherit the parent's warm cache;
+    under ``spawn`` each worker fills it once.  (A hand-rolled global
+    cache here is exactly what repgraph's RPL104 rejects: the analyzer
+    cannot prove an ad-hoc mutable global safe, but an ``lru_cache``
+    over a pure builder it can.)
+    """
+    return _build_plan(config)
 
 
 def _snapshot_batch(
     config: cal.EcosystemConfig, index: int
 ) -> List[ViewRecord]:
     """Worker entry point: all records of snapshot ``index``."""
-    global _WORKER_PLAN
-    if _WORKER_PLAN is None or _WORKER_PLAN[0] != config:
-        _WORKER_PLAN = (config, _build_plan(config))
-    plan = _WORKER_PLAN[1]
+    plan = _plan_for(config)
     streams = _snapshot_streams(config.seed, len(plan.snapshots))
     return plan.sampler.snapshot_records(
         plan.snapshots[index],
@@ -236,11 +243,13 @@ class EcosystemGenerator:
         return result
 
     def _generate(self, jobs: int = 1) -> EcosystemResult:
-        global _WORKER_PLAN
         config = self.config
         if jobs < 1:
             raise CalibrationError("jobs must be >= 1")
-        plan = _build_plan(config)
+        # The parent always builds fresh (each build re-emits the
+        # synthesis.* spans) and leaves the memo warm for the pool.
+        _plan_for.cache_clear()
+        plan = _plan_for(config)
         snapshots = plan.snapshots
         streams = _snapshot_streams(config.seed, len(snapshots))
         obs.gauge("synthesis.workers").set(jobs)
@@ -264,9 +273,8 @@ class EcosystemGenerator:
                 snapshot_counter.inc()
                 records.extend(batch)
         else:
-            # Seed the worker cache before the pool starts: forked
-            # workers inherit the plan and skip the rebuild entirely.
-            _WORKER_PLAN = (config, plan)
+            # ``plan`` above already warmed the per-process memo, so
+            # forked workers inherit it and skip the rebuild entirely.
             with obs.span(
                 "synthesis.snapshot_pool", workers=jobs
             ) as span:

@@ -1,0 +1,22 @@
+"""Seeded true-positive fixture package for the repgraph analyzer.
+
+Each module plants exactly the cross-module determinism hazard one
+RPL1xx analysis exists to catch — and plants it so that the per-file
+replint rules *cannot* see it (the analysis test suite asserts both
+directions).  The package is excluded from the repo-wide replint and
+analyze runs; tests point the analyzer at it explicitly.
+
+==========  ======================  ==============================
+analysis    module(s)               why per-file linting misses it
+==========  ======================  ==============================
+RPL101      streams.py              unseeded rng born outside
+                                    RPL001's scoped paths
+RPL102      streams.py + pool.py    stream is seeded where created;
+                                    the fan-out lives elsewhere
+RPL103      cli.py + report.py      the clock read sits in an
+                                    RPL002-exempt entry point; the
+                                    JSON sink is in another module
+RPL104      workers.py + pool.py    the mutated global and the pool
+                                    submit are in different modules
+==========  ======================  ==============================
+"""

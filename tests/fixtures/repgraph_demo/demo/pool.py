@@ -1,0 +1,23 @@
+"""Fan-out driver for the demo pipeline.
+
+Both hazards here cross module boundaries: the worker that shares an
+RNG stream (RPL102) and the worker that mutates a module global
+(RPL104) are defined in :mod:`demo.workers`; this module only submits
+them.  A per-file rule sees an innocuous pool here and innocuous
+functions there.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from demo import workers
+
+
+def run_draws(jobs, counts):
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(workers.draw_many, counts))
+
+
+def run_recording(jobs, items):
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(workers.record_result, i) for i in items]
+        return [f.result() for f in futures]

@@ -1,0 +1,22 @@
+"""Report writer for the demo pipeline.
+
+``write_report`` persists a payload whose ``generated_at`` field is a
+wall-clock value fetched through :mod:`demo.cli` — the interprocedural
+clock taint RPL103 exists to catch: the read sits in an RPL002-exempt
+entry point and the sink in a different module, so neither file looks
+wrong in isolation.
+"""
+
+import json
+
+from demo import cli
+
+
+def write_report(path, rows):
+    payload = {
+        "generated_at": cli.build_stamp(),
+        "rows": list(rows),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+    return payload

@@ -1,0 +1,23 @@
+"""RNG streams for the demo pipeline.
+
+``fresh_stream`` births an *unseeded* generator (RPL101: every RNG
+origin must derive from an explicit seed).  ``RNG`` is seeded at
+creation — per-file inspection finds nothing wrong with this module —
+but it is a single shared stream, and :mod:`demo.pool` fans consumers
+of it out across processes (RPL102).
+"""
+
+import random
+
+import numpy as np
+
+RNG = random.Random(1234)
+
+
+def fresh_stream():
+    """An unseeded generator: nondeterministic by construction."""
+    return np.random.default_rng()
+
+
+def noisy_value(base):
+    return base + fresh_stream().standard_normal()

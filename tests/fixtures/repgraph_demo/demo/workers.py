@@ -1,0 +1,22 @@
+"""Worker functions the demo pipeline submits to process pools.
+
+``draw_many`` consumes the shared seeded stream from
+:mod:`demo.streams`; inside a fan-out each process forks its own copy
+of the stream state, so parallel output diverges from serial (RPL102).
+``record_result`` appends to a module global: a side effect invisible
+to the parent process under ``spawn`` and order-dependent under
+``fork`` (RPL104).
+"""
+
+from demo import streams
+
+RESULTS = []
+
+
+def draw_many(count):
+    return [streams.RNG.random() for _ in range(count)]
+
+
+def record_result(item):
+    RESULTS.append(item)
+    return len(RESULTS)

@@ -199,6 +199,22 @@ FIXTURES = {
             return list(events)
         """,
     ),
+    "RPL008": (
+        "src/repro/core/status.py",
+        """
+        def announce(step, total):
+            print(f"step {step}/{total}")
+            print("done")
+            return step
+        """,
+        """
+        from repro import obs
+
+        def announce(step, total):
+            obs.emit("core.step", step=step, total=total)
+            return step
+        """,
+    ),
 }
 
 
@@ -320,11 +336,34 @@ class TestRuleDetails:
 
     def test_rpl007_out_of_scope_path_silent(self):
         _, bad, _ = FIXTURES["RPL007"]
-        assert codes(bad, "src/repro/core/counts.py") == []
+        found = codes(bad, "src/repro/core/counts.py")
+        # The print() hands over to RPL008 outside instrumented
+        # modules; the clock read is RPL007-only and must not leak.
+        assert "RPL007" not in found
+        assert found == ["RPL008"]
 
     def test_rpl007_clock_reference_is_not_a_call(self):
         src = "import time\ndef f(clock=time.monotonic):\n    return clock\n"
         assert codes(src, "src/repro/resilience.py") == []
+
+    def test_rpl008_counts_each_print_site(self):
+        path, bad, _ = FIXTURES["RPL008"]
+        assert codes(bad, path).count("RPL008") == 2
+
+    def test_rpl008_cli_is_exempt(self):
+        _, bad, _ = FIXTURES["RPL008"]
+        assert codes(bad, "src/repro/cli.py") == []
+
+    def test_rpl008_defers_to_rpl007_in_instrumented_modules(self):
+        _, bad, _ = FIXTURES["RPL008"]
+        found = codes(bad, "src/repro/telemetry/ingest.py")
+        assert "RPL008" not in found
+        assert found.count("RPL007") == 2
+
+    def test_rpl008_out_of_tree_path_silent(self):
+        _, bad, _ = FIXTURES["RPL008"]
+        assert codes(bad, "tests/test_whatever.py") == []
+        assert codes(bad, "benchmarks/bench_x.py") == []
 
 
 # ---------------------------------------------------------------------------
@@ -354,6 +393,48 @@ class TestEngine:
         findings = lint_source("def broken(:\n", "src/repro/stats/a.py")
         assert [f.code for f in findings] == [PARSE_ERROR_CODE]
         assert findings[0].severity is Severity.ERROR
+
+    def test_parser_resource_exhaustion_reported_not_raised(self):
+        """Pathological nesting must become RPL000, not kill the run."""
+        hostile = "-" * 100000 + "x"
+        findings = lint_source(hostile, "src/repro/stats/a.py")
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_null_byte_source_reported_not_raised(self):
+        findings = lint_source("x = 1\0\n", "src/repro/stats/a.py")
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+    def test_overlapping_paths_lint_each_file_once(self, tmp_path):
+        """`repro lint src src/pkg` must not double-report findings."""
+        pkg = tmp_path / "src" / "stats"
+        pkg.mkdir(parents=True)
+        (pkg / "guard.py").write_text("flag = value == 0.0\n")
+        config = LintConfig(root=str(tmp_path))
+        result = run_lint(
+            ["src", "src/stats", "src/stats/guard.py"],
+            config=config,
+            use_baseline=False,
+        )
+        assert result.files_checked == 1
+        assert [f.code for f in result.findings] == ["RPL004"]
+
+    def test_symlink_alias_lints_each_file_once(self, tmp_path):
+        """A symlinked alias of a tree is the same tree, not a copy."""
+        pkg = tmp_path / "src" / "stats"
+        pkg.mkdir(parents=True)
+        (pkg / "guard.py").write_text("flag = value == 0.0\n")
+        alias = tmp_path / "alias"
+        try:
+            alias.symlink_to(tmp_path / "src", target_is_directory=True)
+        except OSError:
+            pytest.skip("platform does not allow symlinks")
+        config = LintConfig(root=str(tmp_path))
+        result = run_lint(
+            ["src", "alias"], config=config, use_baseline=False
+        )
+        assert result.files_checked == 1
+        assert [f.code for f in result.findings] == ["RPL004"]
 
     def test_fingerprint_survives_line_moves(self):
         src_a = "bad = x == 0.0"
