@@ -41,6 +41,11 @@ SNAPSHOT_LIMIT = 6
 HEADLINE_OPS = ("publisher_view_hours", "view_hours_by_snapshot")
 HEADLINE_MIN_SPEEDUP = 5.0
 
+#: First-call ceiling: interning must amortize, not tax — the cold
+#: columnar aggregation may not exceed a cold row scan by more than
+#: this factor (the allowance absorbs timer noise at small scales).
+FIRST_CALL_MAX_RATIO = 1.15
+
 
 def _base_records(scale: int) -> Tuple[ViewRecord, ...]:
     config = EcosystemConfig(seed=SEED, snapshot_limit=SNAPSHOT_LIMIT)
@@ -84,14 +89,22 @@ def _time_op(
 
 
 def _first_call_s(
-    records: Tuple[ViewRecord, ...], columnar: bool
+    records: Tuple[ViewRecord, ...], columnar: bool, repeats: int
 ) -> float:
     """Cold cost of the first aggregation on a fresh dataset (for the
-    columnar backend this includes code interning)."""
-    dataset = Dataset(records, columnar=columnar)
-    start = time.perf_counter()
-    dataset.publisher_view_hours()
-    return time.perf_counter() - start
+    columnar backend this includes code interning).
+
+    Best of ``repeats`` fresh datasets: a single cold sample swings
+    ~15% with scheduler noise, which is wider than the row-vs-columnar
+    gap this number exists to track.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        dataset = Dataset(records, columnar=columnar)
+        start = time.perf_counter()
+        dataset.publisher_view_hours()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def run_bench(scale: int, repeats: int) -> Dict[str, object]:
@@ -121,8 +134,12 @@ def run_bench(scale: int, repeats: int) -> Dict[str, object]:
             "repeats": repeats,
         },
         "first_call": {
-            "row_s": round(_first_call_s(records, columnar=False), 6),
-            "columnar_s": round(_first_call_s(records, columnar=True), 6),
+            "row_s": round(
+                _first_call_s(records, columnar=False, repeats=repeats), 6
+            ),
+            "columnar_s": round(
+                _first_call_s(records, columnar=True, repeats=repeats), 6
+            ),
         },
         "operations": results,
     }
@@ -167,6 +184,12 @@ def main(argv: List[str] = None) -> int:
         )
         if stats["speedup"] < floor:
             failures.append(f"{name}: {stats['speedup']}x < {floor}x")
+    first = payload["first_call"]
+    if first["columnar_s"] > first["row_s"] * FIRST_CALL_MAX_RATIO:
+        failures.append(
+            f"first_call: columnar {first['columnar_s']}s > "
+            f"{FIRST_CALL_MAX_RATIO}x row {first['row_s']}s"
+        )
     if failures:
         print("FAIL: " + "; ".join(failures), file=sys.stderr)
         return 1

@@ -1,0 +1,206 @@
+"""End-to-end pipeline benchmark: serial vs process-pool execution.
+
+Times the full generate -> ingest -> figures -> testkit chain once at
+``--jobs 1`` and once at ``--jobs N`` (default: up to 4 workers) and
+writes per-stage wall-clock plus the overall speedup to
+``BENCH_pipeline.json`` at the repo root.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--jobs 4]
+
+Two things are asserted on every run, regardless of core count:
+
+* **Byte identity.**  The figure suite rows and the testkit oracle
+  report produced by the parallel run must hash identically to the
+  serial run.  This is the cheap standing check that the
+  :mod:`repro.parallel` seed-spawn and chunking disciplines hold on
+  real workloads, not just in unit tests.
+* **Honest speedup accounting.**  ``meta.cpu_count`` is recorded next
+  to the speedup; a 1-core box legitimately reports ~1.0x (pool
+  overhead included), so the optional ``--min-speedup`` gate is only
+  meant for CI runners with real parallelism.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro import figures
+from repro.synthesis.calibration import EcosystemConfig
+from repro.synthesis.generator import EcosystemGenerator
+from repro.telemetry.backend import TelemetryBackend
+from repro.telemetry.ingest import events_from_records
+from repro.testkit.report import run_matrix
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_pipeline.json"
+
+SEED = 2018
+
+#: Scenario subset for the testkit stage: the fastest full-chain
+#: scenario plus the fault-injection one, times every oracle.
+SCENARIOS = ("tiny", "fault-heavy")
+
+#: Ingest stage size: enough sessions to be visible in the totals
+#: without dwarfing the parallelizable stages.
+INGEST_SESSIONS = 500
+
+
+def _digest(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def run_pipeline(
+    config: EcosystemConfig, jobs: int
+) -> Tuple[Dict[str, float], str]:
+    """One full chain at the given worker count.
+
+    Returns per-stage wall-clock seconds and a fingerprint of every
+    stage's output (figure rows + oracle report), which must not
+    depend on ``jobs``.
+    """
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    result = EcosystemGenerator(config).generate(jobs=jobs)
+    timings["generate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    suite = figures.run_suite(config, jobs=jobs)
+    timings["figures"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    records = [
+        r
+        for r in result.dataset.records
+        if r.view_duration_hours > 0 and r.rebuffer_ratio < 1.0
+    ][:INGEST_SESSIONS]
+    events = list(events_from_records(records))
+    report = TelemetryBackend().ingest_events(events, policy="quarantine")
+    timings["ingest"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    oracle_report = run_matrix(scenarios=list(SCENARIOS), jobs=jobs)
+    timings["testkit"] = time.perf_counter() - start
+
+    timings["total"] = sum(timings.values())
+    fingerprint = _digest(
+        f"records={len(result.dataset)}",
+        repr(sorted(result.dataset.publisher_view_hours().items())),
+        repr(sorted(suite.items())),
+        f"ingested={report.accepted}",
+        oracle_report.to_json(),
+    )
+    return timings, fingerprint
+
+
+def run_bench(jobs: int, config: EcosystemConfig) -> Dict[str, object]:
+    serial, serial_print = run_pipeline(config, jobs=1)
+    parallel, parallel_print = run_pipeline(config, jobs=jobs)
+    if serial_print != parallel_print:
+        raise AssertionError(
+            f"parallel pipeline diverged from serial: "
+            f"{parallel_print} != {serial_print}"
+        )
+    stages = {}
+    for stage in ("generate", "figures", "ingest", "testkit", "total"):
+        stages[stage] = {
+            "serial_s": round(serial[stage], 3),
+            "parallel_s": round(parallel[stage], 3),
+            "speedup": (
+                round(serial[stage] / parallel[stage], 2)
+                if parallel[stage] > 0
+                else 0.0
+            ),
+        }
+        print(
+            f"{stage:10s} jobs=1 {serial[stage]:7.2f} s   "
+            f"jobs={jobs} {parallel[stage]:7.2f} s   "
+            f"{stages[stage]['speedup']:6.2f}x"
+        )
+    return {
+        "meta": {
+            "seed": SEED,
+            "snapshot_limit": config.snapshot_limit,
+            "n_publishers": config.n_publishers,
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "scenarios": list(SCENARIOS),
+            "byte_identical": True,
+            "fingerprint": serial_print,
+        },
+        "stages": stages,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="parallel worker count to benchmark against serial",
+    )
+    parser.add_argument(
+        "--snapshots",
+        type=int,
+        default=4,
+        help="generator snapshot limit (default: 4)",
+    )
+    parser.add_argument(
+        "--publishers",
+        type=int,
+        default=60,
+        help="generator population size (default: 60)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help=(
+            "fail unless total speedup reaches this factor "
+            "(only meaningful on multi-core runners; default: no gate)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default=str(BENCH_PATH),
+        help=f"output JSON path (default: {BENCH_PATH})",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    config = EcosystemConfig(
+        seed=SEED,
+        snapshot_limit=args.snapshots,
+        n_publishers=args.publishers,
+    )
+    payload = run_bench(args.jobs, config)
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {args.out}")
+
+    total = payload["stages"]["total"]["speedup"]
+    if args.min_speedup and total < args.min_speedup:
+        print(
+            f"FAIL: total speedup {total}x < {args.min_speedup}x "
+            f"(cpu_count={os.cpu_count()})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

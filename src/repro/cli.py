@@ -28,12 +28,42 @@ from typing import List, Optional
 
 from repro import figures, obs
 from repro.core.report import format_table
-from repro.errors import DatasetError
+from repro.errors import DatasetError, ParallelError
+from repro.parallel import parse_jobs
 from repro.synthesis.calibration import EcosystemConfig
 from repro.synthesis.generator import EcosystemGenerator, EcosystemResult
 from repro.telemetry.backend import TelemetryBackend
 from repro.telemetry.faults import FaultInjector, FaultMix
 from repro.telemetry.ingest import ErrorPolicy, events_from_records
+
+
+def _jobs_flag(value: str) -> int:
+    """``--jobs`` argparse type: the shared validator, CLI-shaped.
+
+    :func:`repro.parallel.parse_jobs` is the one typed gate for worker
+    counts; argparse only renders :class:`argparse.ArgumentTypeError`
+    messages nicely, so the :class:`~repro.errors.ParallelError` is
+    re-raised in that shape (same message, exit code 2).
+    """
+    try:
+        return parse_jobs(value)
+    except ParallelError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_jobs_arg(
+    parser: argparse.ArgumentParser,
+    default: Optional[int] = 1,
+    help_text: str = "worker processes (default: serial)",
+) -> None:
+    """The one ``--jobs`` flag every parallel subcommand shares."""
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_flag,
+        default=default,
+        metavar="N",
+        help=help_text,
+    )
 
 
 def _obs_parent() -> argparse.ArgumentParser:
@@ -84,9 +114,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fig.add_argument("figure_id", help="e.g. F2a, F13, T1 (see `figures`)")
     _add_generator_args(fig)
 
-    sub.add_parser(
-        "figures", help="list known figure ids", parents=[obs_parent]
+    figs = sub.add_parser(
+        "figures",
+        help="list known figure ids, or run the whole suite (--run)",
+        parents=[obs_parent],
     )
+    figs.add_argument(
+        "--run",
+        action="store_true",
+        help="regenerate every figure and print its table",
+    )
+    _add_generator_args(figs, jobs_default=None)
 
     summary = sub.add_parser(
         "summary", help="print the §4.4 roll-up", parents=[obs_parent]
@@ -181,6 +219,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the JSON oracle report to PATH",
+    )
+    _add_jobs_arg(
+        testkit,
+        help_text="worker processes for the oracle matrix "
+        "(default: serial)",
     )
 
     chaos = sub.add_parser(
@@ -304,7 +347,9 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_generator_args(parser: argparse.ArgumentParser) -> None:
+def _add_generator_args(
+    parser: argparse.ArgumentParser, jobs_default: Optional[int] = 1
+) -> None:
     parser.add_argument("--seed", type=int, default=2018)
     parser.add_argument(
         "--snapshots",
@@ -315,11 +360,10 @@ def _add_generator_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--publishers", type=int, default=110, help="population size"
     )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for snapshot synthesis (default: serial)",
+    _add_jobs_arg(
+        parser,
+        default=jobs_default,
+        help_text="worker processes for the pipeline (default: serial)",
     )
 
 
@@ -371,6 +415,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figures":
+        # A --jobs value implies --run: listing ids needs no workers.
+        if args.run or args.jobs is not None:
+            config = EcosystemConfig(
+                seed=args.seed,
+                snapshot_limit=args.snapshots,
+                n_publishers=args.publishers,
+            )
+            suite = figures.run_suite(
+                config, jobs=args.jobs if args.jobs is not None else 1
+            )
+            for figure_id, rows in suite.items():
+                print(
+                    f"== {figure_id}: {figures.describe(figure_id)} =="
+                )
+                print(format_table(rows))
+            return 0
         for figure_id in figures.figure_ids():
             print(f"{figure_id:6s} {figures.describe(figure_id)}")
         return 0
@@ -470,6 +530,7 @@ def _testkit(args: argparse.Namespace) -> int:
         report = run_matrix(
             scenarios=args.scenarios or None,
             oracles=args.oracle_names or None,
+            jobs=args.jobs,
         )
     except TestkitError as error:
         print(f"testkit: {error}", file=sys.stderr)

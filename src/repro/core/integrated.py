@@ -20,11 +20,13 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.delivery.network import NetworkPath, default_isp_profiles
+from repro.parallel import parallel_map
 from repro.entities.ladder import BitrateLadder
 from repro.errors import AnalysisError
 from repro.playback.abr import AbrAlgorithm, ThroughputAbr
@@ -117,20 +119,46 @@ def integrated_qoe_projection(
     )
 
 
+def _projection_task(
+    case_study: CaseStudy,
+    isp: str,
+    cdn_name: str,
+    sessions: int,
+    seed: int,
+    label: str,
+) -> QoeProjection:
+    """Worker entry point: one syndicator's full projection."""
+    return integrated_qoe_projection(
+        case_study, label, isp, cdn_name, sessions=sessions, seed=seed
+    )
+
+
 def project_all_syndicators(
     case_study: CaseStudy,
     isp: str = "X",
     cdn_name: str = "A",
     sessions: int = 120,
     seed: int = 7,
+    jobs: int = 1,
 ) -> Dict[str, QoeProjection]:
-    """QoE projections for every syndicator in the case study."""
-    return {
-        label: integrated_qoe_projection(
-            case_study, label, isp, cdn_name, sessions=sessions, seed=seed
-        )
-        for label in case_study.syndicator_labels
-    }
+    """QoE projections for every syndicator in the case study.
+
+    Each label's projection consumes its own ``default_rng(seed)``
+    from scratch (the before/after pairing *requires* one sequential
+    stream per label), so the per-label fan-out under ``jobs > 1`` is
+    byte-identical to the serial loop by construction.
+    """
+    labels = list(case_study.syndicator_labels)
+    projections = parallel_map(
+        partial(
+            _projection_task, case_study, isp, cdn_name, sessions, seed
+        ),
+        labels,
+        jobs=jobs,
+        chunk_sizes=[1] * len(labels) if labels else None,
+        label="playback.projections",
+    )
+    return dict(zip(labels, projections))
 
 
 # ---------------------------------------------------------------------------

@@ -73,6 +73,10 @@ class OracleFailure(TestkitError):
     """
 
 
+class ParallelError(ReproError):
+    """The parallel execution layer was misused (bad jobs/chunking)."""
+
+
 class ChaosError(ReproError):
     """The chaos plane was misconfigured (bad plan, layer, or window)."""
 

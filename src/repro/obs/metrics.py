@@ -88,6 +88,10 @@ class Counter:
         """The value as an int (exact for unit increments)."""
         return int(self._value)
 
+    def merge_from(self, other: "Counter") -> None:
+        """Fold another counter in: totals add (commutative)."""
+        self._value += other._value
+
     def snapshot(self) -> object:
         return self._value
 
@@ -115,6 +119,16 @@ class Gauge:
     @property
     def value(self) -> float:
         return self._value
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold another gauge in: high-water (max) semantics.
+
+        "Last writer wins" has no meaning once writers run
+        concurrently, so the merge keeps the maximum — commutative,
+        associative, and equal to the serial value whenever every
+        worker sets the gauge to the same deterministic level.
+        """
+        self._value = max(self._value, other._value)
 
     def snapshot(self) -> object:
         return self._value
@@ -167,6 +181,31 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram in bucket-wise.
+
+        Requires identical bounds (buckets are fixed at construction
+        precisely so merged snapshots stay comparable); counts and sums
+        add, min/max combine.
+        """
+        if other.bounds != self.bounds:
+            raise MetricsError(
+                "cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} edges)"
+            )
+        self._counts = [
+            a + b for a, b in zip(self._counts, other._counts)
+        ]
+        self._count += other._count
+        self._sum += other._sum
+        for value in (other._min, other._max):
+            if value is None:
+                continue
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
 
     def snapshot(self) -> object:
         buckets = {}
@@ -289,6 +328,31 @@ class MetricsRegistry:
         elif description and name not in self._descriptions:
             self._descriptions[name] = description
         return instrument
+
+    # -- merge -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one.
+
+        The parent side of a process-pool fan-out calls this once per
+        worker capture, in unit-index order.  Counters add, histograms
+        add bucket-wise, gauges keep the high-water mark — all
+        commutative and associative, so the merged snapshot is
+        invariant under merge order and, for counters and histograms,
+        exactly equals the unsplit serial run.  Series missing on one
+        side are adopted as-is; kind conflicts raise
+        :class:`MetricsError` like any other misdeclaration.
+        """
+        for (name, labels), theirs in sorted(other._instruments.items()):
+            mine = self._get(
+                name,
+                other._kinds[name],
+                other._descriptions.get(name, ""),
+                dict(labels),
+                bounds=getattr(theirs, "bounds", None),
+            )
+            mine.merge_from(theirs)
+        return self
 
     # -- introspection ---------------------------------------------------
 

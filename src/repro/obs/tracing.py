@@ -18,7 +18,7 @@ from __future__ import annotations
 import contextvars
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.obs.clock import Clock, MonotonicClock
 
@@ -118,6 +118,47 @@ class Tracer:
             self._current.reset(token)
             span.end = self.clock.now()
             self.finished.append(span)
+
+    def adopt(
+        self,
+        spans: Sequence[Span],
+        parent_id: Optional[int] = None,
+    ) -> List[Span]:
+        """Graft finished spans from another tracer into this one.
+
+        Worker processes record spans against their own tracer (ids
+        restart at 1 per worker), so the parent re-numbers them here:
+        every adopted span gets a fresh sequential id, intra-batch
+        parent links are remapped, and batch roots are re-parented
+        under ``parent_id`` (default: the ambient span, i.e. the
+        fan-out span that collected the batch).  Ids are assigned in
+        the batch's creation order and batches are adopted in
+        unit-index order, so the merged tree is deterministic no
+        matter how workers were scheduled.  Returns the new spans.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id
+        id_map: Dict[int, int] = {}
+        for span in sorted(spans, key=lambda s: s.span_id):
+            id_map[span.span_id] = self._next_id
+            self._next_id += 1
+        adopted: List[Span] = []
+        for span in spans:  # keep the worker's completion order
+            remapped = Span(
+                span_id=id_map[span.span_id],
+                parent_id=(
+                    parent_id
+                    if span.parent_id is None
+                    else id_map.get(span.parent_id, parent_id)
+                ),
+                name=span.name,
+                start=span.start,
+                end=span.end,
+                attrs=dict(span.attrs),
+            )
+            adopted.append(remapped)
+            self.finished.append(remapped)
+        return adopted
 
     def reset(self) -> None:
         self.finished.clear()

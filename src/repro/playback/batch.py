@@ -1,0 +1,84 @@
+"""Per-session playback simulation batches with spawned seed streams.
+
+:func:`simulate_session_batch` runs ``n`` independent client sessions
+against one (ladder, path) pair.  Unlike the paired before/after
+replay in :func:`repro.core.integrated.integrated_qoe_projection` —
+which *must* consume one sequential stream so both arms see identical
+network draws — a plain batch has no cross-session coupling, so every
+session gets its own ``np.random.SeedSequence`` child spawned up front
+in the parent.  That is the RPL102 discipline: a session's draws are a
+pure function of ``(seed, index)``, which makes ``jobs > 1`` results
+byte-identical to the serial loop and independent of scheduling.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.delivery.network import NetworkPath
+from repro.entities.ladder import BitrateLadder
+from repro.parallel import parallel_map, spawn_streams
+from repro.playback.abr import AbrAlgorithm
+from repro.playback.session import (
+    SessionConfig,
+    SessionResult,
+    simulate_session,
+)
+
+
+def _session_task(
+    ladder: BitrateLadder,
+    path: NetworkPath,
+    config: SessionConfig,
+    abr: Optional[AbrAlgorithm],
+    stream: np.random.SeedSequence,
+) -> SessionResult:
+    """Worker entry point: one session off its own spawned stream."""
+    rng = np.random.default_rng(stream)
+    return simulate_session(
+        ladder,
+        path,
+        config,
+        rng,
+        abr=abr,
+        session_mean_kbps=path.sample_session_mean(rng),
+    )
+
+
+def simulate_session_batch(
+    ladder: BitrateLadder,
+    path: NetworkPath,
+    config: SessionConfig,
+    seed: int,
+    sessions: int,
+    abr: Optional[AbrAlgorithm] = None,
+    jobs: int = 1,
+) -> Tuple[SessionResult, ...]:
+    """Simulate ``sessions`` independent views, optionally on a pool.
+
+    Each session draws its mean throughput and chunk noise from its
+    own ``SeedSequence`` child of ``seed``, so the result tuple is the
+    same for any ``jobs``.  Results come back in session-index order.
+    """
+    streams = spawn_streams(seed, sessions)
+    with obs.span(
+        "playback.batch", sessions=sessions, jobs=jobs
+    ) as span:
+        results = parallel_map(
+            partial(_session_task, ladder, path, config, abr),
+            streams,
+            jobs=jobs,
+            label="playback.session_map",
+        )
+        obs.counter("playback.sessions").inc(len(results))
+        span.set(
+            rebuffered=sum(1 for r in results if r.rebuffer_seconds > 0)
+        )
+    return tuple(results)
+
+
+__all__ = ["simulate_session_batch"]

@@ -10,7 +10,7 @@ Snapshot synthesis is embarrassingly parallel: every snapshot draws
 from its own RNG stream, derived via
 ``np.random.SeedSequence(seed).spawn(...)``, and the sampler resets its
 per-snapshot state between batches.  ``generate(jobs=N)`` fans the
-snapshot loop out onto a :class:`~concurrent.futures.ProcessPoolExecutor`;
+snapshot loop out through :func:`repro.parallel.parallel_map`;
 because each stream is independent of execution order, a parallel build
 is byte-identical to the serial one (the determinism suite asserts
 equality of the saved JSONL and of every figure's rows).
@@ -18,7 +18,6 @@ equality of the saved JSONL and of every figure's rows).
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from datetime import date
 from functools import lru_cache, partial
@@ -27,6 +26,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+from repro.parallel import parallel_map
 from repro.constants import Protocol
 from repro.entities.device import DeviceRegistry, default_registry
 from repro.entities.publisher import Publisher, PublisherProfile
@@ -278,13 +278,11 @@ class EcosystemGenerator:
             with obs.span(
                 "synthesis.snapshot_pool", workers=jobs
             ) as span:
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    batches = list(
-                        pool.map(
-                            partial(_snapshot_batch, config),
-                            range(len(snapshots)),
-                        )
-                    )
+                batches = parallel_map(
+                    partial(_snapshot_batch, config),
+                    list(range(len(snapshots))),
+                    jobs=jobs,
+                )
                 span.set(records=sum(len(b) for b in batches))
             for batch in batches:
                 record_counter.inc(len(batch))

@@ -24,7 +24,8 @@ why aggregation memoization in the dataset layer needs no invalidation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from operator import attrgetter
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -69,22 +70,27 @@ class ColumnStore:
         """A float64 measure column (``view_hours`` or ``views``)."""
         column = self._numeric.get(name)
         if column is None:
+            # map(attrgetter) keeps the extraction loop in C; the
+            # view-hours product is then a vectorized multiply instead
+            # of a per-record Python float multiplication.
             if name == "view_hours":
-                column = np.fromiter(
-                    (r.weight * r.view_duration_hours for r in self.records),
-                    dtype=np.float64,
-                    count=len(self.records),
+                column = self.numeric("views") * self._pull(
+                    "view_duration_hours"
                 )
             elif name == "views":
-                column = np.fromiter(
-                    (r.weight for r in self.records),
-                    dtype=np.float64,
-                    count=len(self.records),
-                )
+                column = self._pull("weight")
             else:
                 raise KeyError(f"unknown numeric column {name!r}")
             self._numeric[name] = column
         return column
+
+    def _pull(self, attr: str) -> np.ndarray:
+        """Extract one float attribute across all records."""
+        return np.fromiter(
+            map(attrgetter(attr), self.records),
+            dtype=np.float64,
+            count=len(self.records),
+        )
 
     def field_codes(
         self, field: str
@@ -93,7 +99,7 @@ class ColumnStore:
         cached = self._codes.get(field)
         if cached is None:
             cached = self._intern(
-                field, lambda record: getattr(record, field)
+                field, map(attrgetter(field), self.records)
             )
         return cached
 
@@ -103,7 +109,7 @@ class ColumnStore:
         """Interned codes for a derived column, memoized by name."""
         cached = self._codes.get(key.name)
         if cached is None:
-            cached = self._intern(key.name, key.fn)
+            cached = self._intern(key.name, map(key.fn, self.records))
         return cached
 
     def codes_for(
@@ -118,22 +124,32 @@ class ColumnStore:
     # ------------------------------------------------------------------
 
     def _intern(
-        self, name: str, fn: Callable[[ViewRecord], object]
+        self, name: str, values: Iterable[object]
     ) -> Tuple[np.ndarray, Tuple[object, ...]]:
-        """One pass over the records: value -> first-appearance code."""
-        table: Dict[object, int] = {}
-        codes = np.empty(len(self.records), dtype=np.int64)
-        for i, record in enumerate(self.records):
-            value = fn(record)
-            if value is None:
-                codes[i] = OUT_OF_SCOPE
-                continue
-            code = table.get(value)
-            if code is None:
-                code = len(table)
-                table[value] = code
-            codes[i] = code
-        result = (codes, tuple(table))
+        """Intern values to first-appearance codes, loops kept in C.
+
+        ``dict.fromkeys`` collects the distinct values in first-
+        appearance order without a Python-level loop; the code lookup
+        then runs as ``map(lookup.__getitem__, ...)`` feeding
+        ``np.fromiter``, so every pass over the record axis executes
+        inside the interpreter's C machinery.  ``None`` (out of scope)
+        is routed through the lookup table itself rather than a
+        per-value branch.
+        """
+        materialized = list(values)
+        uniques = dict.fromkeys(materialized)
+        uniques.pop(None, None)
+        lookup: Dict[object, int] = {
+            value: code for code, value in enumerate(uniques)
+        }
+        ordered = tuple(lookup)
+        lookup[None] = OUT_OF_SCOPE
+        codes = np.fromiter(
+            map(lookup.__getitem__, materialized),
+            dtype=np.int64,
+            count=len(self.records),
+        )
+        result = (codes, ordered)
         self._codes[name] = result
         return result
 

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.report import format_table
+from repro.parallel import parallel_map, parse_jobs
 from repro.testkit.oracles import (
     FAIL,
     PASS,
@@ -26,6 +28,7 @@ from repro.testkit.oracles import (
     run_oracle,
 )
 from repro.testkit.scenario import (
+    ScenarioRun,
     ScenarioSpec,
     get_scenario,
     run_scenario,
@@ -148,23 +151,63 @@ def _resolve_oracles(
     ]
 
 
+@lru_cache(maxsize=1)
+def _run_for(spec: ScenarioSpec) -> "ScenarioRun":
+    """Per-process run-artifact memo for pool workers.
+
+    One matrix chunk is one scenario's oracle row, so every cell of
+    the chunk shares this single cached :class:`ScenarioRun` (and its
+    lazily built variants) exactly as the serial loop does —
+    ``maxsize=1`` because a worker only ever needs the scenario it is
+    currently on.  A pure function of the frozen spec, which is what
+    makes the memo RPL104-safe.
+    """
+    return run_scenario(spec)
+
+
+def _matrix_cell(cell: Tuple[ScenarioSpec, Oracle]) -> OracleOutcome:
+    """Worker entry point: one scenario x oracle cell."""
+    spec, target = cell
+    return run_oracle(target, _run_for(spec))
+
+
 def run_matrix(
     scenarios: Optional[Sequence[object]] = None,
     oracles: Optional[Sequence[object]] = None,
+    jobs: int = 1,
 ) -> OracleReport:
     """Run ``scenarios x oracles`` (defaults: everything registered).
 
     Items may be names or already-constructed specs/oracles.  Each
     scenario's expensive builds are shared across its oracles through
     the cached :class:`~repro.testkit.scenario.ScenarioRun`.
+
+    ``jobs > 1`` fans the matrix onto a process pool, one task per
+    cell, chunked so a scenario's whole oracle row stays on one worker
+    (each scenario is still built exactly once).  Outcomes come back
+    in the same (scenario, oracle) order as the serial loop, so the
+    JSON report is byte-identical and merged obs counters match the
+    serial totals.
     """
     specs = _resolve_scenarios(scenarios)
     targets = _resolve_oracles(oracles)
+    jobs = parse_jobs(jobs)
     obs.gauge("testkit.scenarios").set(len(specs))
-    outcomes: List[OracleOutcome] = []
-    for spec in specs:
-        run = run_scenario(spec)
-        with obs.span("testkit.scenario", scenario=spec.name):
-            for target in targets:
-                outcomes.append(run_oracle(target, run))
-    return OracleReport(outcomes=tuple(outcomes))
+    if jobs == 1 or not specs or not targets:
+        outcomes: List[OracleOutcome] = []
+        for spec in specs:
+            run = run_scenario(spec)
+            with obs.span("testkit.scenario", scenario=spec.name):
+                for target in targets:
+                    outcomes.append(run_oracle(target, run))
+        return OracleReport(outcomes=tuple(outcomes))
+    _run_for.cache_clear()
+    cells = [(spec, target) for spec in specs for target in targets]
+    parallel = parallel_map(
+        _matrix_cell,
+        cells,
+        jobs=jobs,
+        chunk_sizes=[len(targets)] * len(specs),
+        label="testkit.matrix",
+    )
+    return OracleReport(outcomes=tuple(parallel))

@@ -1,0 +1,168 @@
+"""The shared process-pool execution layer and its three hot paths.
+
+Unit coverage for :mod:`repro.parallel` (jobs validation, chunking,
+ordered collection) plus the standing determinism contract: every
+``jobs``-capable entry point — figure suite, testkit matrix, playback
+batches, QoE projections — must produce byte-identical results at any
+worker count, with merged observability equal to the serial run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.integrated import project_all_syndicators
+from repro.delivery.network import default_isp_profiles
+from repro.entities.ladder import BitrateLadder
+from repro.errors import ParallelError
+from repro.parallel import (
+    chunk_sizes_for,
+    parallel_map,
+    parse_jobs,
+    spawn_streams,
+)
+from repro.playback.batch import simulate_session_batch
+from repro.playback.session import SessionConfig
+
+pytestmark = pytest.mark.perf
+
+
+class TestParseJobs:
+    def test_accepts_ints_and_int_strings(self):
+        assert parse_jobs(1) == 1
+        assert parse_jobs(8) == 8
+        assert parse_jobs("4") == 4
+        assert parse_jobs(" 2 ") == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, -100, "0", "-3"])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ParallelError):
+            parse_jobs(bad)
+
+    @pytest.mark.parametrize("bad", [True, False, 1.5, "1.5", "four", None, ""])
+    def test_rejects_non_integers(self, bad):
+        with pytest.raises(ParallelError):
+            parse_jobs(bad)
+
+
+class TestChunking:
+    def test_sizes_cover_all_units(self):
+        for units in (1, 2, 7, 59, 100):
+            for jobs in (1, 2, 4, 16):
+                sizes = chunk_sizes_for(units, jobs)
+                assert sum(sizes) == units
+                assert all(size >= 1 for size in sizes)
+
+    def test_empty_units(self):
+        assert chunk_sizes_for(0, 4) == []
+
+    def test_oversubscribes_for_balance(self):
+        # ~4x oversubscription so straggler chunks can't dominate:
+        # 59 units on 4 workers -> at least 16 near-equal chunks.
+        sizes = chunk_sizes_for(59, 4)
+        assert len(sizes) >= 16
+        assert max(sizes) - min(sizes) <= 1
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _observed_square(value: int) -> int:
+    obs.counter("test.parallel_units").inc()
+    return value * value
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_pool_path_preserves_order(self):
+        items = list(range(23))
+        assert parallel_map(_square, items, jobs=2) == [
+            i * i for i in items
+        ]
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ParallelError):
+            parallel_map(_square, [1], jobs=0)
+
+    def test_bad_chunk_sizes_rejected(self):
+        with pytest.raises(ParallelError):
+            parallel_map(_square, [1, 2, 3], jobs=2, chunk_sizes=[2])
+        with pytest.raises(ParallelError):
+            parallel_map(_square, [1, 2, 3], jobs=2, chunk_sizes=[3, 0])
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    @pytest.mark.obs
+    def test_worker_counters_merge_to_serial_totals(self):
+        obs.configure(enabled=True)
+        try:
+            obs.metrics().reset()
+            serial = parallel_map(_observed_square, list(range(10)), jobs=1)
+            serial_count = obs.counter("test.parallel_units").value
+            obs.metrics().reset()
+            pooled = parallel_map(_observed_square, list(range(10)), jobs=2)
+            pooled_count = obs.counter("test.parallel_units").value
+        finally:
+            obs.configure(enabled=False)
+        assert pooled == serial
+        assert serial_count == pooled_count == 10.0
+
+
+class TestSpawnStreams:
+    def test_streams_are_distinct_and_deterministic(self):
+        first = spawn_streams(7, 4)
+        second = spawn_streams(7, 4)
+        assert len(first) == 4
+        for a, b in zip(first, second):
+            assert (
+                np.random.default_rng(a).integers(1 << 30)
+                == np.random.default_rng(b).integers(1 << 30)
+            )
+        draws = {
+            int(np.random.default_rng(s).integers(1 << 30)) for s in first
+        }
+        assert len(draws) == 4
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParallelError):
+            spawn_streams(7, -1)
+
+
+class TestPlaybackBatch:
+    @pytest.fixture()
+    def path(self):
+        return default_isp_profiles()["X"].path_to("A")
+
+    def test_parallel_batch_matches_serial(self, ladder, path):
+        config = SessionConfig(view_seconds=120.0)
+        serial = simulate_session_batch(
+            ladder, path, config, seed=11, sessions=6, jobs=1
+        )
+        pooled = simulate_session_batch(
+            ladder, path, config, seed=11, sessions=6, jobs=2
+        )
+        assert serial == pooled
+
+    def test_sessions_differ_across_streams(self, ladder, path):
+        config = SessionConfig(view_seconds=120.0)
+        results = simulate_session_batch(
+            ladder, path, config, seed=11, sessions=6
+        )
+        bitrates = {r.average_bitrate_kbps for r in results}
+        assert len(bitrates) > 1
+
+
+class TestProjectionsParallel:
+    def test_parallel_projections_match_serial(self, eco):
+        serial = project_all_syndicators(
+            eco.case_study, sessions=20, jobs=1
+        )
+        pooled = project_all_syndicators(
+            eco.case_study, sessions=20, jobs=2
+        )
+        assert serial == pooled
+        assert set(pooled) == set(eco.case_study.syndicator_labels)

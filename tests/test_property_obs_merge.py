@@ -1,0 +1,232 @@
+"""Property-based tests for deterministic observability merging.
+
+The :mod:`repro.parallel` layer promises that observability output is
+independent of how work was split across workers: counters sum,
+histograms add bucket-wise, gauges keep the high-water mark, and span
+batches re-number deterministically.  These are algebraic claims —
+merge is order-invariant and associative, and merging the pieces of a
+split serial run reproduces the unsplit run — so they are stated as
+Hypothesis properties.
+
+Observed values are drawn from integers (converted to float) so sums
+are exact: float addition is not associative in general, and the
+parallel layer sidesteps that by always merging contiguous chunks in
+unit order, which these tests mirror.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsError, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+pytestmark = pytest.mark.obs
+
+#: Exactly-representable observations: integer-valued floats keep
+#: every sum bit-identical no matter the grouping.
+exact_values = st.integers(min_value=-1000, max_value=1000).map(float)
+
+#: A histogram bound set shared by every generated registry (merge
+#: requires identical bounds; mismatches are tested separately).
+BOUNDS = (1.0, 10.0, 100.0)
+
+counter_events = st.lists(
+    st.tuples(
+        st.sampled_from(["a.count", "b.count", "c.count"]),
+        st.integers(min_value=0, max_value=50).map(float),
+    ),
+    max_size=20,
+)
+# Gauges merge as high-water marks against an implicit floor of zero
+# (a never-set gauge reads 0), so the identity law only holds on the
+# non-negative range — which is where every gauge in the codebase
+# lives (they are all counts or sizes).
+gauge_events = st.lists(
+    st.tuples(
+        st.sampled_from(["a.gauge", "b.gauge"]),
+        st.integers(min_value=0, max_value=1000).map(float),
+    ),
+    max_size=12,
+)
+histogram_events = st.lists(
+    st.tuples(
+        st.sampled_from(["a.hist", "b.hist"]),
+        st.integers(min_value=0, max_value=500).map(float),
+    ),
+    max_size=20,
+)
+events = st.tuples(counter_events, gauge_events, histogram_events)
+
+
+def _apply(registry: MetricsRegistry, batch) -> MetricsRegistry:
+    counters, gauges, histograms = batch
+    for name, amount in counters:
+        registry.counter(name).inc(amount)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    for name, value in histograms:
+        registry.histogram(name, bounds=BOUNDS).observe(value)
+    return registry
+
+
+def _registry(batch) -> MetricsRegistry:
+    return _apply(MetricsRegistry(), batch)
+
+
+class TestRegistryMergeAlgebra:
+    @given(events, events)
+    def test_merge_order_invariant(self, batch_a, batch_b):
+        left = _registry(batch_a).merge(_registry(batch_b))
+        right = _registry(batch_b).merge(_registry(batch_a))
+        assert left.snapshot() == right.snapshot()
+
+    @given(events, events, events)
+    @settings(max_examples=50)
+    def test_merge_associative(self, batch_a, batch_b, batch_c):
+        grouped_left = _registry(batch_a).merge(_registry(batch_b))
+        grouped_left.merge(_registry(batch_c))
+        grouped_right = _registry(batch_b).merge(_registry(batch_c))
+        result_right = _registry(batch_a).merge(grouped_right)
+        assert grouped_left.snapshot() == result_right.snapshot()
+
+    @given(
+        st.lists(
+            st.tuples(counter_events, histogram_events),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_merge_of_split_equals_unsplit(self, batches):
+        """Splitting a serial run into contiguous chunks and merging
+        them back reproduces the unsplit registry.
+
+        Stated for counters and histograms, whose serial semantics are
+        accumulation.  Gauges are deliberately out of scope: serially
+        they are last-write-wins while merge keeps the high-water
+        mark, so the law only holds for monotone writers (see
+        ``test_gauge_merge_is_high_water`` for the semantic that *is*
+        promised).
+        """
+        serial = MetricsRegistry()
+        for counters, histograms in batches:
+            _apply(serial, (counters, [], histograms))
+        merged = MetricsRegistry()
+        for counters, histograms in batches:
+            merged.merge(_registry((counters, [], histograms)))
+        assert merged.snapshot() == serial.snapshot()
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1))
+    def test_gauge_merge_is_high_water(self, values):
+        merged = MetricsRegistry()
+        for value in values:
+            worker = MetricsRegistry()
+            worker.gauge("g").set(float(value))
+            merged.merge(worker)
+        assert merged.gauge("g").value == float(max(values))
+
+    @given(events)
+    def test_merge_into_empty_is_identity(self, batch):
+        assert (
+            MetricsRegistry().merge(_registry(batch)).snapshot()
+            == _registry(batch).snapshot()
+        )
+
+    @given(counter_events, counter_events)
+    def test_counter_totals_sum(self, batch_a, batch_b):
+        merged = _registry((batch_a, [], [])).merge(
+            _registry((batch_b, [], []))
+        )
+        for name in ("a.count", "b.count", "c.count"):
+            expected = sum(
+                amount
+                for batch in (batch_a, batch_b)
+                for event_name, amount in batch
+                if event_name == name
+            )
+            observed = merged.series_values(name)
+            assert sum(observed.values()) == expected
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        ours = MetricsRegistry()
+        ours.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        theirs = MetricsRegistry()
+        theirs.histogram("h", bounds=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(MetricsError):
+            ours.merge(theirs)
+
+
+def _worker_spans(names) -> list:
+    """Finished spans the way a worker tracer would record them."""
+    tracer = Tracer()
+    for name in names:
+        with tracer.span(name):
+            with tracer.span(f"{name}.child"):
+                pass
+    return tracer.finished
+
+
+class TestSpanAdoption:
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["load", "run", "fold"]),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_adoption_matches_serial_structure(self, batches):
+        """Adopting per-worker batches in unit order reproduces the
+        serial tracer's (name, parent-name) tree and keeps ids unique
+        and sequential."""
+        reference = Tracer()
+        for names in batches:
+            for name in names:
+                with reference.span(name):
+                    with reference.span(f"{name}.child"):
+                        pass
+        serial_spans = reference.finished
+
+        parent = Tracer()
+        adopted = []
+        for names in batches:
+            adopted.extend(parent.adopt(_worker_spans(names)))
+
+        def shape(spans):
+            by_id = {s.span_id: s for s in spans}
+            return [
+                (
+                    s.name,
+                    by_id[s.parent_id].name
+                    if s.parent_id in by_id
+                    else None,
+                )
+                for s in spans
+            ]
+
+        assert shape(parent.finished) == shape(serial_spans)
+        ids = [s.span_id for s in adopted]
+        assert len(ids) == len(set(ids))
+        assert sorted(ids) == list(range(min(ids), min(ids) + len(ids)))
+
+    def test_batch_roots_reparent_under_ambient_span(self):
+        parent = Tracer()
+        with parent.span("fanout") as ambient:
+            adopted = parent.adopt(_worker_spans(["run"]))
+        roots = [s for s in adopted if s.name == "run"]
+        assert all(s.parent_id == ambient.span_id for s in roots)
+        children = [s for s in adopted if s.name == "run.child"]
+        assert all(s.parent_id == roots[0].span_id for s in children)
+
+    def test_adoption_preserves_attrs_and_timings(self):
+        worker = Tracer()
+        with worker.span("step", rows=7) as span:
+            span.set(extra="x")
+        parent = Tracer()
+        (adopted,) = parent.adopt(worker.finished)
+        assert adopted.attrs == {"rows": 7, "extra": "x"}
+        assert adopted.start == worker.finished[0].start
+        assert adopted.end == worker.finished[0].end
